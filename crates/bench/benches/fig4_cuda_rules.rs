@@ -1,0 +1,39 @@
+//! F4 — paper Figure 4: the `scale_bias_gpu` CUDA excerpt and the
+//! findings that make CUDA intrinsically at odds with ISO 26262
+//! (pointers, dynamic device memory). Prints the findings, then
+//! benchmarks the CUDA rule set on the excerpt.
+
+use adsafe::checkers::{cuda_rules, default_checks, run_checks, AnalysisSet, Check};
+use adsafe::corpus::yolo::SCALE_BIAS_CU;
+use adsafe::experiments::fig4_findings;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("Figure 4 exhibit — findings on scale_bias_gpu:");
+    for f in fig4_findings() {
+        println!("  {f}");
+    }
+    println!();
+
+    let mut set = AnalysisSet::new();
+    set.add("perception", "scale_bias.cu", SCALE_BIAS_CU);
+    let cx = set.context();
+    let mut g = c.benchmark_group("fig4");
+    g.bench_function("cuda_rules_on_excerpt", |b| {
+        let checks: Vec<Box<dyn Check>> = vec![
+            Box::new(cuda_rules::KernelPointerCheck),
+            Box::new(cuda_rules::DeviceAllocBalanceCheck),
+            Box::new(cuda_rules::LaunchErrorCheck),
+            Box::new(cuda_rules::ClosedSourceLibCheck),
+        ];
+        b.iter(|| run_checks(&checks, &cx))
+    });
+    g.bench_function("all_checks_on_excerpt", |b| {
+        let checks = default_checks();
+        b.iter(|| run_checks(&checks, &cx))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

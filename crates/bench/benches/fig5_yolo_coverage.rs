@@ -1,0 +1,34 @@
+//! F5 — paper Figure 5: statement/branch/MC-DC coverage of YOLO under
+//! real-scenario tests (paper averages 83/75/61%). Prints the figure,
+//! then benchmarks one full instrumented scenario run and the report
+//! computation separately.
+
+use adsafe::corpus::yolo::{harness_with_drivers, real_scenarios};
+use adsafe::experiments::fig5_yolo_coverage;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let (fig, avg) = fig5_yolo_coverage();
+    println!("{}", fig.to_ascii(40));
+    println!(
+        "averages: stmt {:.0}% branch {:.0}% MC/DC {:.0}% (paper: 83/75/61)\n",
+        avg.statement_pct, avg.branch_pct, avg.mcdc_pct
+    );
+
+    let h = harness_with_drivers();
+    let scenarios = real_scenarios();
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("one_detection_scenario", |b| {
+        let one = scenarios[..1].to_vec();
+        b.iter(|| h.run(&one))
+    });
+    g.bench_function("coverage_report_from_log", |b| {
+        let (log, _) = h.run(&scenarios);
+        b.iter(|| h.file_coverage(&log))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! F7 — paper Figure 7: object-detection performance with open- vs
+//! closed-source libraries. Prints the modeled series (who wins, by what
+//! factor), then *measures* the real Rust kernels: one YOLO-mini
+//! inference per backend (naive / tiled=CUTLASS-like /
+//! autotuned=ISAAC-like).
+
+use adsafe::experiments::fig7_detection_perf;
+use adsafe::gpu::{synthetic_frame, Backend, YoloNet};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let fig = fig7_detection_perf();
+    println!("{}", fig.to_ascii(48));
+    let v = &fig.series[0].1;
+    println!(
+        "modeled CPU/GPU gap: {:.0}x (paper: two orders of magnitude)\n",
+        v[4].min(v[5]) / v[0].min(v[2])
+    );
+
+    let net = YoloNet::tiny(3, 64, 3, 5, 42);
+    let img = synthetic_frame(3, 64, 32, 32, 7);
+    let mut g = c.benchmark_group("fig7_measured");
+    g.sample_size(10);
+    for backend in Backend::ALL {
+        g.bench_function(backend.name(), |b| b.iter(|| net.forward(&img, backend)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! T1 — paper Table 1 (ISO 26262-6 Table 1): modeling/coding guideline
+//! verdicts over the Apollo-scale corpus. Prints the regenerated table,
+//! then benchmarks the full assessment pipeline at two corpus scales.
+
+use adsafe::corpus::{generate, ApolloSpec};
+use adsafe::{assess_corpus, render, AssessmentOptions};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn scaled_spec(scale: f64) -> ApolloSpec {
+    let full = ApolloSpec::paper_scale();
+    ApolloSpec {
+        modules: full.modules.iter().map(|m| m.scaled(scale)).collect(),
+        seed: full.seed,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    // Regenerate the artifact once, at a mid scale, and print it.
+    let files = generate(&scaled_spec(0.1));
+    let report = assess_corpus(&files, AssessmentOptions::default());
+    println!("{}", render::table1(&report).to_ascii());
+    println!("{}", render::observations_text(&report));
+
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    for scale in [0.02, 0.1] {
+        let files = generate(&scaled_spec(scale));
+        g.bench_function(format!("assess_scale_{scale}"), |b| {
+            b.iter_batched(
+                || files.clone(),
+                |files| assess_corpus(&files, AssessmentOptions::default()),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

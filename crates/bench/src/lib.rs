@@ -1,0 +1,3 @@
+//! Bench-only crate: see the `benches/` directory. One Criterion
+//! bench per paper table/figure plus ablations; each prints the
+//! regenerated artifact, then times the pipeline that produces it.

@@ -1,0 +1,157 @@
+//! # adsafe-checkers — rule engine for ISO 26262 software guidelines
+//!
+//! Static checks over the [`adsafe_lang`] AST covering the guideline
+//! families the paper assesses Apollo against: MISRA-style language
+//! subset rules, strong typing, defensive programming, design
+//! principles, style, naming, CUDA-specific rules, and the quantified
+//! unit-design statistics of ISO 26262-6 Table 8.
+//!
+//! ```
+//! use adsafe_checkers::{AnalysisSet, default_checks};
+//!
+//! let mut set = AnalysisSet::new();
+//! set.add("demo", "demo.cc", "void f(int x) { if (x) goto out; out: return; }");
+//! let cx = set.context();
+//! let diags: Vec<_> = default_checks()
+//!     .iter()
+//!     .flat_map(|c| c.run(&cx))
+//!     .collect();
+//! assert!(diags.iter().any(|d| d.check_id == "misra-15.1-goto"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod cuda_rules;
+pub mod defensive;
+pub mod design;
+pub mod diag;
+pub mod misra;
+pub mod misra_expr;
+pub mod naming;
+pub mod structure;
+pub mod style;
+pub mod typing;
+pub mod unit_design;
+
+pub use context::{AnalysisSet, CheckContext, FileEntry};
+pub use diag::{Diagnostic, Severity};
+pub use unit_design::{unit_design_stats, UnitDesignStats};
+
+/// A static-analysis rule.
+///
+/// Checks are stateless: all inputs come from the [`CheckContext`], all
+/// outputs are [`Diagnostic`]s. `iso_refs` ties each rule to the ISO
+/// 26262-6 table rows it provides evidence for (e.g.
+/// `"Part6.Table8.Row9"`), which is how the compliance engine in
+/// `adsafe-iso26262` aggregates findings into verdicts.
+pub trait Check: Send + Sync {
+    /// Stable rule identifier, e.g. `"misra-15.1-goto"`.
+    fn id(&self) -> &'static str;
+    /// One-line description of what the rule requires.
+    fn description(&self) -> &'static str;
+    /// ISO 26262-6 table rows this rule evidences.
+    fn iso_refs(&self) -> &'static [&'static str];
+    /// Runs the rule over the context.
+    fn run(&self, cx: &CheckContext<'_>) -> Vec<Diagnostic>;
+}
+
+/// The full default rule set, in a stable order.
+pub fn default_checks() -> Vec<Box<dyn Check>> {
+    vec![
+        // MISRA-style language subset
+        Box::new(misra::GotoCheck),
+        Box::new(misra::MultiExitCheck),
+        Box::new(misra::RecursionCheck),
+        Box::new(misra::DynamicMemoryCheck),
+        Box::new(misra::CommaOperatorCheck),
+        Box::new(misra::UnionCheck),
+        Box::new(misra::SwitchDefaultCheck),
+        Box::new(misra::UnreachableCodeCheck),
+        Box::new(misra::VariadicCheck),
+        Box::new(misra_expr::OctalLiteralCheck),
+        Box::new(misra_expr::ShortCircuitSideEffectCheck),
+        Box::new(misra_expr::MultipleDeclaratorsCheck),
+        // strong typing
+        Box::new(typing::ExplicitCastCheck),
+        Box::new(typing::ImplicitConversionCheck),
+        // defensive programming
+        Box::new(defensive::PointerParamCheck),
+        Box::new(defensive::UncheckedCallCheck),
+        // design principles
+        Box::new(design::GlobalVariableCheck),
+        Box::new(design::GlobalUseCheck),
+        Box::new(design::ExceptionDisciplineCheck),
+        // style & naming
+        Box::new(style::LineStyleCheck),
+        Box::new(style::IndentationCheck),
+        Box::new(style::BraceStyleCheck),
+        Box::new(style::IncludeGuardCheck),
+        Box::new(naming::TypeNamingCheck),
+        Box::new(naming::VariableNamingCheck),
+        Box::new(naming::MacroNamingCheck),
+        // structural size (Table 3 rows 2-3)
+        Box::new(structure::FunctionLengthCheck),
+        Box::new(structure::NestingDepthCheck),
+        Box::new(structure::ParamCountCheck),
+        // CUDA
+        Box::new(cuda_rules::KernelPointerCheck),
+        Box::new(cuda_rules::DeviceAllocBalanceCheck),
+        Box::new(cuda_rules::LaunchErrorCheck),
+        Box::new(cuda_rules::ClosedSourceLibCheck),
+    ]
+}
+
+/// Runs every check in `checks` and returns all diagnostics, ordered by
+/// check then by source position.
+pub fn run_checks(checks: &[Box<dyn Check>], cx: &CheckContext<'_>) -> Vec<Diagnostic> {
+    let mut out: Vec<Diagnostic> = checks.iter().flat_map(|c| c.run(cx)).collect();
+    out.sort_by_key(|d| (d.check_id, d.span.file, d.span.start));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_unique_ids() {
+        let checks = default_checks();
+        let mut ids: Vec<&str> = checks.iter().map(|c| c.id()).collect();
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "duplicate check ids");
+        assert!(before >= 25, "expected a substantial rule set, got {before}");
+    }
+
+    #[test]
+    fn every_check_has_iso_refs_and_description() {
+        for c in default_checks() {
+            assert!(!c.description().is_empty(), "{} lacks description", c.id());
+            assert!(!c.iso_refs().is_empty(), "{} lacks ISO refs", c.id());
+            for r in c.iso_refs() {
+                assert!(r.starts_with("Part6.Table"), "{} has odd ref {r}", c.id());
+            }
+        }
+    }
+
+    #[test]
+    fn run_checks_is_sorted_and_complete() {
+        let mut set = AnalysisSet::new();
+        set.add(
+            "m",
+            "t.cc",
+            "int g;\nint f(int* p) { if (*p) goto x; x: return (int)1.5; }\n",
+        );
+        let cx = set.context();
+        let checks = default_checks();
+        let diags = run_checks(&checks, &cx);
+        assert!(diags.iter().any(|d| d.check_id == "misra-15.1-goto"));
+        assert!(diags.iter().any(|d| d.check_id == "typing-explicit-cast"));
+        assert!(diags.iter().any(|d| d.check_id == "design-global-variable"));
+        let mut sorted = diags.clone();
+        sorted.sort_by_key(|d| (d.check_id, d.span.file, d.span.start));
+        assert_eq!(diags, sorted);
+    }
+}

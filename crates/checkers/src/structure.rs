@@ -1,0 +1,178 @@
+//! Structural size checks backing ISO 26262-6 Table 3 rows 2–3 at
+//! function granularity: function length, nesting depth, and parameter
+//! count. The standard sets no numeric limits; the defaults follow
+//! common automotive practice (HIS metrics).
+
+use crate::diag::{Diagnostic, Severity};
+use crate::{Check, CheckContext};
+
+/// HIS-style default limits.
+pub mod limits {
+    /// Maximum function length in non-blank lines.
+    pub const MAX_FUNCTION_NLOC: usize = 100;
+    /// Maximum statement nesting depth.
+    pub const MAX_NESTING: usize = 5;
+    /// Maximum parameter count (interface size).
+    pub const MAX_PARAMS: usize = 6;
+}
+
+/// Functions longer than [`limits::MAX_FUNCTION_NLOC`] lines.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FunctionLengthCheck;
+
+impl Check for FunctionLengthCheck {
+    fn id(&self) -> &'static str {
+        "structure-function-length"
+    }
+    fn description(&self) -> &'static str {
+        "functions shall be of restricted size"
+    }
+    fn iso_refs(&self) -> &'static [&'static str] {
+        &["Part6.Table3.Row2"]
+    }
+    fn run(&self, cx: &CheckContext<'_>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for (e, f) in cx.functions() {
+            let m = adsafe_metrics::function_metrics(e.file, f);
+            if m.nloc > limits::MAX_FUNCTION_NLOC {
+                out.push(
+                    Diagnostic::new(
+                        self.id(),
+                        Severity::Warning,
+                        f.sig.span,
+                        format!(
+                            "function `{}` is {} lines (limit {})",
+                            f.sig.name,
+                            m.nloc,
+                            limits::MAX_FUNCTION_NLOC
+                        ),
+                    )
+                    .in_function(&f.sig.qualified_name),
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Functions nested deeper than [`limits::MAX_NESTING`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NestingDepthCheck;
+
+impl Check for NestingDepthCheck {
+    fn id(&self) -> &'static str {
+        "structure-nesting-depth"
+    }
+    fn description(&self) -> &'static str {
+        "statement nesting shall be limited"
+    }
+    fn iso_refs(&self) -> &'static [&'static str] {
+        &["Part6.Table1.Row1"]
+    }
+    fn run(&self, cx: &CheckContext<'_>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for (e, f) in cx.functions() {
+            let m = adsafe_metrics::function_metrics(e.file, f);
+            if m.max_nesting > limits::MAX_NESTING {
+                out.push(
+                    Diagnostic::new(
+                        self.id(),
+                        Severity::Warning,
+                        f.sig.span,
+                        format!(
+                            "function `{}` nests {} levels deep (limit {})",
+                            f.sig.name,
+                            m.max_nesting,
+                            limits::MAX_NESTING
+                        ),
+                    )
+                    .in_function(&f.sig.qualified_name),
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Functions with more than [`limits::MAX_PARAMS`] parameters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ParamCountCheck;
+
+impl Check for ParamCountCheck {
+    fn id(&self) -> &'static str {
+        "structure-param-count"
+    }
+    fn description(&self) -> &'static str {
+        "interfaces (parameter lists) shall be of restricted size"
+    }
+    fn iso_refs(&self) -> &'static [&'static str] {
+        &["Part6.Table3.Row3"]
+    }
+    fn run(&self, cx: &CheckContext<'_>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for (_, f) in cx.functions() {
+            if f.sig.params.len() > limits::MAX_PARAMS {
+                out.push(
+                    Diagnostic::new(
+                        self.id(),
+                        Severity::Info,
+                        f.sig.span,
+                        format!(
+                            "function `{}` takes {} parameters (limit {})",
+                            f.sig.name,
+                            f.sig.params.len(),
+                            limits::MAX_PARAMS
+                        ),
+                    )
+                    .in_function(&f.sig.qualified_name),
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::AnalysisSet;
+
+    fn run(check: &dyn Check, src: &str) -> Vec<Diagnostic> {
+        let mut set = AnalysisSet::new();
+        set.add("m", "t.cc", src);
+        check.run(&set.context())
+    }
+
+    #[test]
+    fn long_function_flagged() {
+        let body: String = (0..120).map(|i| format!("  x += {i};\n")).collect();
+        let src = format!("int f(int x) {{\n{body}  return x;\n}}\n");
+        let d = run(&FunctionLengthCheck, &src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("122 lines") || d[0].message.contains("lines"));
+    }
+
+    #[test]
+    fn short_function_clean() {
+        assert!(run(&FunctionLengthCheck, "int f() { return 1; }").is_empty());
+    }
+
+    #[test]
+    fn deep_nesting_flagged() {
+        let src = "void f(int x) { if (x) { if (x) { if (x) { if (x) { if (x) { if (x) { x++; } } } } } } }";
+        let d = run(&NestingDepthCheck, src);
+        assert_eq!(d.len(), 1);
+        let ok = "void f(int x) { if (x) { if (x) { x++; } } }";
+        assert!(run(&NestingDepthCheck, ok).is_empty());
+    }
+
+    #[test]
+    fn wide_interface_flagged() {
+        let d = run(
+            &ParamCountCheck,
+            "int f(int a, int b, int c, int d, int e, int g, int h) { return a; }",
+        );
+        assert_eq!(d.len(), 1);
+        assert!(run(&ParamCountCheck, "int f(int a, int b) { return a; }").is_empty());
+    }
+}

@@ -1,0 +1,209 @@
+//! The `adsafe` command-line tool: assess a C/C++/CUDA source tree
+//! against ISO 26262 Part-6 software guidelines.
+//!
+//! ```text
+//! adsafe assess <dir> [--asil A|B|C|D] [--report out.md] [--diagnostics]
+//! adsafe check <file> [<file>...]          # rule findings only
+//! adsafe tables                            # print the Part-6 tables
+//! ```
+//!
+//! Files are grouped into modules by their top-level directory, mirroring
+//! how the paper treats Apollo's module tree.
+
+use adsafe::iso26262::Asil;
+use adsafe::{render, Assessment, AssessmentOptions};
+use std::path::{Path, PathBuf};
+
+const SOURCE_EXTENSIONS: [&str; 8] = ["c", "cc", "cpp", "cxx", "cu", "h", "hpp", "cuh"];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("assess") => cmd_assess(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        Some("tables") => cmd_tables(),
+        _ => {
+            eprintln!(
+                "usage:\n  adsafe assess <dir> [--asil A|B|C|D] [--report out.md] [--diagnostics]\n  \
+                 adsafe check <file> [<file>...]\n  adsafe tables"
+            );
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn collect_sources(root: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(root) else { return };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_sources(&path, out);
+        } else if path
+            .extension()
+            .and_then(|e| e.to_str())
+            .is_some_and(|e| SOURCE_EXTENSIONS.contains(&e))
+        {
+            out.push(path);
+        }
+    }
+}
+
+fn module_of(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .ok()
+        .and_then(|rel| rel.components().next())
+        .and_then(|c| c.as_os_str().to_str())
+        .filter(|c| !c.contains('.'))
+        .unwrap_or("root")
+        .to_string()
+}
+
+fn parse_asil(s: &str) -> Option<Asil> {
+    match s.to_ascii_uppercase().as_str() {
+        "A" => Some(Asil::A),
+        "B" => Some(Asil::B),
+        "C" => Some(Asil::C),
+        "D" => Some(Asil::D),
+        "QM" => Some(Asil::Qm),
+        _ => None,
+    }
+}
+
+fn cmd_assess(args: &[String]) -> i32 {
+    let Some(dir) = args.first() else {
+        eprintln!("assess: missing <dir>");
+        return 2;
+    };
+    let root = PathBuf::from(dir);
+    if !root.is_dir() {
+        eprintln!("assess: `{dir}` is not a directory");
+        return 2;
+    }
+    let mut asil = Asil::D;
+    let mut report_path: Option<String> = None;
+    let mut show_diagnostics = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--asil" => {
+                i += 1;
+                match args.get(i).and_then(|s| parse_asil(s)) {
+                    Some(a) => asil = a,
+                    None => {
+                        eprintln!("assess: --asil needs A|B|C|D|QM");
+                        return 2;
+                    }
+                }
+            }
+            "--report" => {
+                i += 1;
+                report_path = args.get(i).cloned();
+                if report_path.is_none() {
+                    eprintln!("assess: --report needs a path");
+                    return 2;
+                }
+            }
+            "--diagnostics" => show_diagnostics = true,
+            other => {
+                eprintln!("assess: unknown option `{other}`");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+
+    let mut files = Vec::new();
+    collect_sources(&root, &mut files);
+    if files.is_empty() {
+        eprintln!("assess: no C/C++/CUDA sources under `{dir}`");
+        return 1;
+    }
+    eprintln!("assessing {} files under {dir} at {asil} ...", files.len());
+
+    let mut assessment = Assessment::new()
+        .with_options(AssessmentOptions { asil, ..AssessmentOptions::default() });
+    for f in &files {
+        let Ok(text) = std::fs::read_to_string(f) else {
+            eprintln!("  skipping unreadable {}", f.display());
+            continue;
+        };
+        assessment.add_file(&module_of(&root, f), &f.display().to_string(), &text);
+    }
+    let report = assessment.run();
+
+    if show_diagnostics {
+        for d in &report.diagnostics {
+            println!("{} [{}] {}", d.severity, d.check_id, d.message);
+        }
+        println!();
+    }
+    println!("{}", render::table1(&report).to_ascii());
+    println!("{}", render::table2(&report).to_ascii());
+    println!("{}", render::table3(&report).to_ascii());
+    print!("{}", render::observations_text(&report));
+    println!();
+    println!(
+        "{} findings; {} of 25 topics blocking at {}; compliance ratio {:.0}%",
+        report.diagnostics.len(),
+        report.compliance.blocking_count(),
+        report.compliance.asil,
+        report.compliance.compliance_ratio() * 100.0
+    );
+    if let Some(path) = report_path {
+        match std::fs::write(&path, render::full_report_markdown(&report)) {
+            Ok(()) => eprintln!("report written to {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                return 1;
+            }
+        }
+    }
+    i32::from(report.compliance.blocking_count() > 0)
+}
+
+fn cmd_check(args: &[String]) -> i32 {
+    if args.is_empty() {
+        eprintln!("check: missing <file>");
+        return 2;
+    }
+    let mut assessment = Assessment::new();
+    for f in args {
+        let Ok(text) = std::fs::read_to_string(f) else {
+            eprintln!("check: cannot read {f}");
+            return 2;
+        };
+        assessment.add_file("input", f, &text);
+    }
+    let report = assessment.run();
+    for d in &report.diagnostics {
+        println!("{} [{}] {}", d.severity, d.check_id, d.message);
+    }
+    println!("{} findings", report.diagnostics.len());
+    i32::from(!report.diagnostics.is_empty())
+}
+
+fn cmd_tables() -> i32 {
+    for table in [
+        adsafe::iso26262::TableId::CodingGuidelines,
+        adsafe::iso26262::TableId::ArchitecturalDesign,
+        adsafe::iso26262::TableId::UnitDesign,
+    ] {
+        println!("{} (paper Table {})", table.title(), table.paper_number());
+        for t in adsafe::iso26262::all_topics().filter(|t| t.table == table) {
+            let lv = t.levels;
+            println!(
+                "  {:2}) {:<75} {:>2} {:>2} {:>2} {:>2}",
+                t.row,
+                t.name,
+                lv[0].notation(),
+                lv[1].notation(),
+                lv[2].notation(),
+                lv[3].notation()
+            );
+        }
+        println!();
+    }
+    0
+}

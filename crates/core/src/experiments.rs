@@ -1,0 +1,288 @@
+//! One entry point per paper experiment: each function regenerates the
+//! data behind a table or figure, and is what the examples and the
+//! Criterion benches call.
+
+use adsafe_corpus::yolo::{harness_with_drivers, real_scenarios, STENCIL_CU, YOLO_FILES};
+use adsafe_coverage::{CoverageHarness, TestCase, Value};
+use adsafe_iso26262::CoverageEvidence;
+use adsafe_report::Figure;
+
+/// Figure 5: per-file statement/branch/MC-DC coverage of the YOLO-mini
+/// corpus under the real-scenario tests. Returns the figure and the
+/// whole-corpus averages (the paper reports 83/75/61%).
+pub fn fig5_yolo_coverage() -> (Figure, CoverageEvidence) {
+    let h = harness_with_drivers();
+    let (cov, _) = h.measure(&real_scenarios());
+    let measured: Vec<_> = cov
+        .iter()
+        .filter(|c| YOLO_FILES.iter().any(|(p, _)| *p == c.label))
+        .collect();
+    let mut f = Figure::new(
+        "Figure 5",
+        "Coverage achieved for object detection (YOLO)",
+    );
+    let labels: Vec<&str> = measured.iter().map(|c| c.label.as_str()).collect();
+    f.labels(&labels);
+    f.series(
+        "statement %",
+        measured.iter().map(|c| c.statement_pct(true)).collect(),
+    );
+    f.series(
+        "branch %",
+        measured.iter().map(|c| c.branch_pct(true)).collect(),
+    );
+    f.series(
+        "MC/DC %",
+        measured.iter().map(|c| c.mcdc_pct(true)).collect(),
+    );
+    let n = measured.len().max(1) as f64;
+    let avg = CoverageEvidence {
+        statement_pct: measured.iter().map(|c| c.statement_pct(true)).sum::<f64>() / n,
+        branch_pct: measured.iter().map(|c| c.branch_pct(true)).sum::<f64>() / n,
+        mcdc_pct: measured.iter().map(|c| c.mcdc_pct(true)).sum::<f64>() / n,
+    };
+    (f, avg)
+}
+
+/// The mini-C driver for the translated stencils (single-device run:
+/// `halo == 0`, so the halo path stays uncovered — matching the paper's
+/// "full coverage is not achieved").
+const STENCIL_DRIVER: &str = "\
+float run_stencil2d(int h, int w) {\n\
+    float* in = malloc(h * w * 4);\n\
+    float* out = malloc(h * w * 4);\n\
+    for (int i = 0; i < h * w; i++) { in[i] = (i % 7) * 1.0f; }\n\
+    stencil2d_kernel_cpu(in, out, h, w, 0.5f, 0.125f, 0, 1, 1, w, h);\n\
+    float sum = 0.0f;\n\
+    for (int i = 0; i < h * w; i++) { sum = sum + out[i]; }\n\
+    free(in); free(out);\n\
+    return sum;\n\
+}\n\
+float run_stencil3d(int d, int h, int w) {\n\
+    float* in = malloc(d * h * w * 4);\n\
+    float* out = malloc(d * h * w * 4);\n\
+    for (int i = 0; i < d * h * w; i++) { in[i] = (i % 5) * 1.0f; }\n\
+    stencil3d_kernel_cpu(in, out, d, h, w, 0.4f, 0.1f, 0, 1, 1, w, h);\n\
+    float sum = 0.0f;\n\
+    for (int i = 0; i < d * h * w; i++) { sum = sum + out[i]; }\n\
+    free(in); free(out);\n\
+    return sum;\n\
+}\n";
+
+/// Figure 6: statement and branch coverage of the CUDA stencils after
+/// cuda4cpu-style translation, per kernel.
+pub fn fig6_stencil_coverage() -> Figure {
+    let translated = adsafe_corpus::cuda_to_cpu(STENCIL_CU);
+    let mut h = CoverageHarness::new();
+    h.add_file("stencil_cpu.c", &translated.source);
+    h.add_file("stencil_driver.c", STENCIL_DRIVER);
+    h.link();
+    let tests = vec![
+        TestCase::new("2D stencil 8x8", "run_stencil2d", vec![Value::Int(8), Value::Int(8)]),
+        TestCase::new(
+            "3D stencil 4x4x4",
+            "run_stencil3d",
+            vec![Value::Int(4), Value::Int(4), Value::Int(4)],
+        ),
+    ];
+    let (log, outcomes) = h.run(&tests);
+    debug_assert!(outcomes.iter().all(|o| o.result.is_ok()));
+    // Per-kernel coverage: compute per function, group 2D vs 3D.
+    let file_cov = h.file_coverage(&log);
+    let stencil = &file_cov[0];
+    let kernel_names = ["stencil2d_kernel", "stencil3d_kernel"];
+    let mut f = Figure::new(
+        "Figure 6",
+        "Statement and branch coverage for CUDA code modified to run on the CPU",
+    );
+    f.labels(&["2D stencil", "3D stencil"]);
+    let pick = |metric: &dyn Fn(&adsafe_coverage::FunctionCoverage) -> f64| -> Vec<f64> {
+        kernel_names
+            .iter()
+            .map(|k| {
+                stencil
+                    .functions
+                    .iter()
+                    .find(|fc| fc.name == *k)
+                    .map(|fc| metric(fc))
+                    .unwrap_or(0.0)
+            })
+            .collect()
+    };
+    f.series("statement %", pick(&|fc| fc.statement_pct()));
+    f.series("branch %", pick(&|fc| fc.branch_pct()));
+    f
+}
+
+/// Figure 7 (model): end-to-end detection time per library implementation.
+pub fn fig7_detection_perf() -> Figure {
+    let pts = adsafe_perfmodel::fig7_detection_times();
+    let mut f = Figure::new(
+        "Figure 7",
+        "Object detection with open-source vs closed-source libraries (ms, modeled)",
+    );
+    let labels: Vec<&str> = pts.iter().map(|p| p.label.as_str()).collect();
+    f.labels(&labels);
+    f.series("time (ms)", pts.iter().map(|p| p.value).collect());
+    f
+}
+
+/// Figure 7 (measured): the same contrast on the real Rust kernels —
+/// naive vs tiled vs autotuned backends of the YOLO pipeline, wall time
+/// in milliseconds for one inference.
+pub fn fig7_measured(input_hw: usize) -> Figure {
+    use adsafe_gpu::{synthetic_frame, Backend, YoloNet};
+    let net = YoloNet::tiny(3, input_hw, 2, 4, 42);
+    let img = synthetic_frame(3, input_hw, input_hw / 2, input_hw / 2, 7);
+    let mut f = Figure::new(
+        "Figure 7 (measured)",
+        "Object detection on real Rust kernels: naive vs tiled vs autotuned",
+    );
+    let labels: Vec<&str> = Backend::ALL.iter().map(|b| b.name()).collect();
+    f.labels(&labels);
+    let mut values = Vec::new();
+    for b in Backend::ALL {
+        let start = std::time::Instant::now();
+        let _ = net.forward(&img, b);
+        values.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    f.series("time (ms)", values);
+    f
+}
+
+/// Figure 8a: CUTLASS vs cuBLAS relative performance (modeled).
+pub fn fig8a() -> Figure {
+    let pts = adsafe_perfmodel::fig8a_cutlass_vs_cublas();
+    let mut f = Figure::new(
+        "Figure 8(a)",
+        "CUTLASS relative to cuBLAS (1.0 = parity, higher = CUTLASS faster)",
+    );
+    let labels: Vec<&str> = pts.iter().map(|p| p.label.as_str()).collect();
+    f.labels(&labels);
+    f.series("relative perf", pts.iter().map(|p| p.value).collect());
+    f
+}
+
+/// Figure 8b: ISAAC vs cuDNN relative performance (modeled).
+pub fn fig8b() -> Figure {
+    let pts = adsafe_perfmodel::fig8b_isaac_vs_cudnn();
+    let mut f = Figure::new(
+        "Figure 8(b)",
+        "ISAAC relative to cuDNN (1.0 = parity, higher = ISAAC faster)",
+    );
+    let labels: Vec<&str> = pts.iter().map(|p| p.label.as_str()).collect();
+    f.labels(&labels);
+    f.series("relative perf", pts.iter().map(|p| p.value).collect());
+    f
+}
+
+/// Ablation: MC/DC with masking (what qualified tools accept) vs strict
+/// unique-cause on the same YOLO coverage log. Returns
+/// `(masking_covered, strict_covered, total_conditions)`.
+pub fn mcdc_masking_ablation() -> (usize, usize, usize) {
+    use adsafe_coverage::mcdc::{covered_conditions, covered_conditions_strict};
+    let h = harness_with_drivers();
+    let (log, _) = h.run(&real_scenarios());
+    let mut masking = 0;
+    let mut strict = 0;
+    let mut total = 0;
+    for records in log.decision_records.values() {
+        // Number of conditions = longest recorded vector.
+        let n = records.iter().map(|r| r.conditions.len()).max().unwrap_or(0);
+        total += n;
+        masking += covered_conditions(records, n);
+        strict += covered_conditions_strict(records, n);
+    }
+    (masking, strict, total)
+}
+
+/// Figure 4 exhibit: the checker findings on the paper's `scale_bias_gpu`
+/// CUDA excerpt, rendered as diagnostics.
+pub fn fig4_findings() -> Vec<String> {
+    let mut a = crate::pipeline::Assessment::new();
+    a.add_file("perception", "scale_bias.cu", adsafe_corpus::yolo::SCALE_BIAS_CU);
+    let r = a.run();
+    let mut out: Vec<String> = r
+        .diagnostics
+        .iter()
+        .filter(|d| {
+            matches!(
+                d.check_id,
+                "misra-21.3-dynamic-memory"
+                    | "cuda-kernel-pointer"
+                    | "cuda-alloc-balance"
+                    | "cuda-launch-unchecked"
+            )
+        })
+        .map(|d| format!("[{}] {}", d.check_id, d.message))
+        .collect();
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_reproduces_coverage_shape() {
+        let (fig, avg) = fig5_yolo_coverage();
+        assert_eq!(fig.labels.len(), YOLO_FILES.len());
+        assert_eq!(fig.series.len(), 3);
+        assert!(avg.statement_pct > avg.branch_pct);
+        assert!(avg.branch_pct > avg.mcdc_pct);
+        assert!(avg.statement_pct < 100.0);
+    }
+
+    #[test]
+    fn fig6_below_full_coverage() {
+        let fig = fig6_stencil_coverage();
+        assert_eq!(fig.labels, vec!["2D stencil", "3D stencil"]);
+        for (_, values) in &fig.series {
+            for v in values {
+                assert!(*v > 0.0, "kernel executed");
+                assert!(*v < 100.0, "halo path must stay uncovered, got {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig7_model_runs() {
+        let fig = fig7_detection_perf();
+        assert_eq!(fig.labels.len(), 6);
+    }
+
+    #[test]
+    fn fig7_measured_runs_small() {
+        let fig = fig7_measured(32);
+        assert_eq!(fig.series[0].1.len(), 3);
+        assert!(fig.series[0].1.iter().all(|v| *v > 0.0));
+    }
+
+    #[test]
+    fn fig8_series_nonempty() {
+        assert!(fig8a().labels.len() >= 16);
+        assert!(fig8b().labels.len() >= 10);
+    }
+
+    #[test]
+    fn masking_dominates_strict_mcdc() {
+        let (masking, strict, total) = mcdc_masking_ablation();
+        assert!(total > 0);
+        assert!(strict <= masking, "strict {strict} > masking {masking}");
+        assert!(masking <= total);
+        // Short-circuit code makes the difference material.
+        assert!(masking > strict, "expected masking to credit more conditions");
+    }
+
+    #[test]
+    fn fig4_flags_the_paper_pattern() {
+        let findings = fig4_findings();
+        assert!(
+            findings.iter().any(|f| f.contains("cudaMalloc")),
+            "{findings:?}"
+        );
+        assert!(findings.iter().any(|f| f.contains("raw pointer")));
+        assert!(findings.iter().any(|f| f.contains("fewer frees")));
+    }
+}

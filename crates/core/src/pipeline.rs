@@ -1,0 +1,312 @@
+//! The assessment pipeline: source files in, compliance report out.
+//!
+//! This is the paper's methodology as an API: parse the whole code base,
+//! run metrics and checkers, assemble [`Evidence`], judge it against ISO
+//! 26262 Part 6 at a target ASIL, and synthesise the observations.
+
+use adsafe_checkers::{
+    default_checks, run_checks, AnalysisSet, CheckContext, Diagnostic,
+};
+use adsafe_iso26262::{
+    assess, observations, Asil, ComplianceReport, Evidence, GpuEvidence, Observation,
+};
+use adsafe_lang::cuda;
+use adsafe_metrics::{module_metrics, ModuleMetrics};
+use std::collections::HashMap;
+
+/// Inputs the analyser cannot derive from source (supplied by the
+/// integrator, as in a real assessment).
+#[derive(Debug, Clone)]
+pub struct AssessmentOptions {
+    /// Target ASIL (the paper uses ASIL-D for the whole AD pipeline).
+    pub asil: Asil,
+    /// Whether the deployment defines scheduling properties.
+    pub has_scheduling_policy: bool,
+    /// Structural coverage results to fold in, if measured.
+    pub coverage: Option<adsafe_iso26262::CoverageEvidence>,
+}
+
+impl Default for AssessmentOptions {
+    fn default() -> Self {
+        AssessmentOptions { asil: Asil::D, has_scheduling_policy: false, coverage: None }
+    }
+}
+
+/// The full output of one assessment run.
+#[derive(Debug)]
+pub struct AssessmentReport {
+    /// Assembled quantitative evidence.
+    pub evidence: Evidence,
+    /// Per-topic verdicts for the three Part-6 tables.
+    pub compliance: ComplianceReport,
+    /// The fourteen synthesised observations.
+    pub observations: Vec<Observation>,
+    /// Per-module metrics (Figure 3's data).
+    pub modules: Vec<ModuleMetrics>,
+    /// Every diagnostic, sorted by check then position.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl AssessmentReport {
+    /// Diagnostics of one check.
+    pub fn diagnostics_for(&self, check_id: &str) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.check_id == check_id).collect()
+    }
+}
+
+/// The assessment driver. Add files, then [`Assessment::run`].
+#[derive(Debug, Default)]
+pub struct Assessment {
+    set: AnalysisSet,
+    options: AssessmentOptions,
+}
+
+impl Assessment {
+    /// Creates an empty assessment with default options (ASIL-D).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the options.
+    pub fn with_options(mut self, options: AssessmentOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Adds one source file under a module.
+    pub fn add_file(&mut self, module: &str, path: &str, text: &str) -> &mut Self {
+        self.set.add(module, path, text);
+        self
+    }
+
+    /// Runs metrics, checkers, and the compliance engine.
+    pub fn run(&self) -> AssessmentReport {
+        let cx = self.set.context();
+        let checks = default_checks();
+        let mut diagnostics = run_checks(&checks, &cx);
+        // Macro naming runs from PpInfo (outside the Check trait).
+        for (_, _, parsed) in self.set.parsed() {
+            diagnostics.extend(adsafe_checkers::naming::check_macros(&parsed.pp));
+        }
+
+        let modules = self.module_metrics(&cx);
+        let unit = adsafe_checkers::unit_design_stats(&cx);
+        let evidence = self.assemble_evidence(&cx, &modules, &unit, &diagnostics);
+        let compliance = assess(&evidence, self.options.asil);
+        let observations = observations(&evidence);
+        AssessmentReport { evidence, compliance, observations, modules, diagnostics }
+    }
+
+    fn module_metrics(&self, cx: &CheckContext<'_>) -> Vec<ModuleMetrics> {
+        cx.modules()
+            .into_iter()
+            .map(|m| {
+                let files: Vec<_> = cx
+                    .module_entries(m)
+                    .into_iter()
+                    .map(|e| (e.file, e.unit))
+                    .collect();
+                module_metrics(m, &files)
+            })
+            .collect()
+    }
+
+    fn assemble_evidence(
+        &self,
+        cx: &CheckContext<'_>,
+        modules: &[ModuleMetrics],
+        unit: &adsafe_checkers::UnitDesignStats,
+        diagnostics: &[Diagnostic],
+    ) -> Evidence {
+        let count = |id: &str| diagnostics.iter().filter(|d| d.check_id == id).count();
+        let misra_ids = [
+            "misra-15.1-goto",
+            "misra-15.5-multi-exit",
+            "misra-17.2-recursion",
+            "misra-21.3-dynamic-memory",
+            "misra-12.3-comma",
+            "misra-19.2-union",
+            "misra-16.4-switch-default",
+            "misra-2.1-unreachable",
+            "misra-17.1-variadic",
+            "misra-7.1-octal",
+            "misra-13.5-side-effect",
+            "misra-decl-one-per-stmt",
+        ];
+        let misra_violations: usize = misra_ids.iter().map(|id| count(id)).sum();
+        let style_findings = count("style-line")
+            + count("style-indent")
+            + count("style-brace")
+            + count("style-include-guard");
+        let naming_findings =
+            count("naming-type") + count("naming-variable") + count("naming-macro");
+
+        // GPU evidence from the CUDA profiles.
+        let mut gpu = GpuEvidence {
+            language_subset_available: false,
+            coverage_tool_available: false,
+            ..GpuEvidence::default()
+        };
+        for e in &cx.entries {
+            for k in cuda::kernels(e.unit) {
+                gpu.kernel_count += 1;
+                gpu.kernel_pointer_params +=
+                    k.sig.params.iter().filter(|p| p.ty.is_pointer_like()).count();
+            }
+            for f in e.unit.functions() {
+                let prof = cuda::profile_function(f);
+                gpu.device_alloc_sites += prof.alloc_calls();
+            }
+        }
+        gpu.closed_source_calls = count("cuda-closed-source-lib");
+
+        // Architecture metrics.
+        let mean_cohesion = if modules.is_empty() {
+            1.0
+        } else {
+            modules.iter().map(|m| m.cohesion).sum::<f64>() / modules.len() as f64
+        };
+        let module_of: HashMap<String, String> = cx
+            .entries
+            .iter()
+            .flat_map(|e| {
+                e.unit
+                    .functions()
+                    .into_iter()
+                    .map(move |f| (f.sig.qualified_name.clone(), e.module.to_string()))
+            })
+            .collect();
+        let coupling_edges: usize =
+            adsafe_metrics::coupling(&cx.graph, &module_of).values().sum();
+        let total_functions: usize = modules.iter().map(|m| m.function_count()).sum();
+        let mean_interface_params = if modules.is_empty() {
+            0.0
+        } else {
+            modules.iter().map(|m| m.mean_params * m.function_count() as f64).sum::<f64>()
+                / total_functions.max(1) as f64
+        };
+
+        Evidence {
+            total_loc: modules.iter().map(|m| m.loc.nloc).sum(),
+            total_functions,
+            functions_over_cc10: modules.iter().map(|m| m.functions_over(10)).sum(),
+            functions_over_cc20: modules.iter().map(|m| m.functions_over(20)).sum(),
+            functions_over_cc50: modules.iter().map(|m| m.functions_over(50)).sum(),
+            module_locs: modules.iter().map(|m| (m.name.clone(), m.loc.nloc)).collect(),
+            misra_violations,
+            explicit_casts: count("typing-explicit-cast"),
+            implicit_conversions: unit.implicit_conversions,
+            validation_ratio: adsafe_checkers::defensive::validation_ratio(cx),
+            unchecked_calls: count("defensive-unchecked-return"),
+            global_definitions: unit.global_definitions,
+            style_findings,
+            naming_findings,
+            mean_cohesion,
+            coupling_edges,
+            mean_interface_params,
+            hierarchical_structure: true,
+            has_scheduling_policy: self.options.has_scheduling_policy,
+            uses_interrupts: false,
+            multi_exit_pct: unit.multi_exit_pct(),
+            dynamic_alloc_sites: unit.dynamic_alloc_sites,
+            maybe_uninit_reads: unit.maybe_uninit_reads,
+            shadowed_declarations: unit.shadowed_declarations,
+            pointer_uses: unit.pointer_uses,
+            opaque_regions: unit.opaque_regions,
+            global_access_functions: count("design-global-use"),
+            goto_count: unit.goto_count,
+            recursive_functions: unit.recursive_functions,
+            gpu,
+            coverage: self.options.coverage,
+        }
+    }
+}
+
+/// Convenience: assess a generated Apollo-like corpus.
+pub fn assess_corpus(
+    files: &[adsafe_corpus::GeneratedFile],
+    options: AssessmentOptions,
+) -> AssessmentReport {
+    let mut a = Assessment::new().with_options(options);
+    for f in files {
+        a.add_file(&f.module, &f.path, &f.text);
+    }
+    a.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adsafe_iso26262::{Status, TableId};
+
+    fn small_report() -> AssessmentReport {
+        let mut a = Assessment::new();
+        a.add_file(
+            "perception",
+            "perception/track.cc",
+            "int g_tracks;\n\
+             int Update(int* state, int delta) {\n\
+               if (delta < 0) return -1;\n\
+               g_tracks = g_tracks + 1;\n\
+               *state = *state + delta;\n\
+               return (int)(*state * 1.5f);\n\
+             }\n",
+        );
+        a.add_file(
+            "perception",
+            "perception/detect.cu",
+            adsafe_corpus::yolo::SCALE_BIAS_CU,
+        );
+        a.run()
+    }
+
+    #[test]
+    fn evidence_reflects_the_code() {
+        let r = small_report();
+        assert_eq!(r.evidence.global_definitions, 1);
+        assert!(r.evidence.explicit_casts >= 1);
+        assert!(r.evidence.multi_exit_pct > 0.0);
+        assert_eq!(r.evidence.gpu.kernel_count, 1);
+        assert_eq!(r.evidence.gpu.kernel_pointer_params, 2);
+        assert!(r.evidence.gpu.device_alloc_sites >= 2);
+        assert!(r.evidence.pointer_uses > 0);
+        assert_eq!(r.modules.len(), 1);
+    }
+
+    #[test]
+    fn compliance_report_has_25_verdicts() {
+        let r = small_report();
+        assert_eq!(r.compliance.verdicts.len(), 25);
+        assert_eq!(r.observations.len(), 14);
+        // Dynamic device memory → unit-design row 2 non-compliant with
+        // research-class effort (CUDA intrinsic).
+        let row2 = &r.compliance.table(TableId::UnitDesign)[1];
+        assert_eq!(row2.status, Status::NonCompliant);
+        assert_eq!(row2.effort, adsafe_iso26262::Effort::Research);
+    }
+
+    #[test]
+    fn observation_4_holds_for_cuda_code() {
+        let r = small_report();
+        let obs4 = &r.observations[3];
+        assert!(obs4.holds);
+        assert!(obs4.text.contains("CUDA"));
+    }
+
+    #[test]
+    fn diagnostics_queryable() {
+        let r = small_report();
+        assert!(!r.diagnostics_for("misra-21.3-dynamic-memory").is_empty());
+        assert!(r.diagnostics_for("made-up-check").is_empty());
+    }
+
+    #[test]
+    fn corpus_assessment_smoke() {
+        let spec = adsafe_corpus::ApolloSpec::test_scale();
+        let files = adsafe_corpus::generate(&spec);
+        let r = assess_corpus(&files, AssessmentOptions::default());
+        assert_eq!(r.evidence.total_functions > 100, true);
+        assert!(r.evidence.functions_over_cc10 >= spec.total_over_10());
+        assert!(r.compliance.blocking_count() > 0);
+    }
+}

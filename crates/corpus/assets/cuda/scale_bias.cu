@@ -1,0 +1,25 @@
+/* scale_bias.cu — the exact code pattern of the paper's Figure 4:
+ * CUDA object-detection code built on pointers and dynamic device
+ * memory (cudaMalloc), with host/device pointer pairs maintained by
+ * hand. Used by the checkers as the Observation 3/4 exhibit. */
+
+__global__ void scale_bias_kernel(float* output, float* biases, int n, int size) {
+    int offset = blockIdx.x * blockDim.x + threadIdx.x;
+    int filter = blockIdx.y;
+    int batch = blockIdx.z;
+    if (offset < size) {
+        output[(batch * n + filter) * size + offset] *= biases[filter];
+    }
+}
+
+void scale_bias_gpu(float* output, float* biases, int batch, int n, int size) {
+    float* d_output;
+    float* d_biases;
+    cudaMalloc((void**)&d_output, batch * n * size * 4);
+    cudaMalloc((void**)&d_biases, n * 4);
+    cudaMemcpy(d_output, output, batch * n * size * 4, cudaMemcpyHostToDevice);
+    cudaMemcpy(d_biases, biases, n * 4, cudaMemcpyHostToDevice);
+    dim3 dimGrid((size - 1) / 256 + 1, n, batch);
+    scale_bias_kernel<<<dimGrid, 256>>>(d_output, d_biases, n, size);
+    cudaMemcpy(output, d_output, batch * n * size * 4, cudaMemcpyDeviceToHost);
+}

@@ -1,0 +1,52 @@
+/* stencil.cu — the 2D and 3D stencil CUDA kernels of the paper's
+ * Figure 6 methodology (GPU code coverage via CPU translation).
+ * The halo-exchange path (halo != 0) exists for multi-GPU runs and is
+ * not exercised by the single-device test scenarios, so full coverage
+ * is not achieved — matching the paper's reported result. */
+
+__global__ void stencil2d_kernel(float* in, float* out, int h, int w,
+                                 float cw, float nw, int halo) {
+    int x = blockIdx.x * blockDim.x + threadIdx.x;
+    int y = blockIdx.y * blockDim.y + threadIdx.y;
+    if (x >= w || y >= h) {
+        return;
+    }
+    if (halo != 0) {
+        if (x < halo || y < halo || x >= w - halo || y >= h - halo) {
+            out[y * w + x] = 0.0f;
+            return;
+        }
+    }
+    if (x == 0 || y == 0 || x == w - 1 || y == h - 1) {
+        out[y * w + x] = in[y * w + x];
+        return;
+    }
+    float center = in[y * w + x];
+    float nsum = in[(y - 1) * w + x] + in[(y + 1) * w + x]
+               + in[y * w + x - 1] + in[y * w + x + 1];
+    out[y * w + x] = center * cw + nsum * nw;
+}
+
+__global__ void stencil3d_kernel(float* in, float* out, int d, int h, int w,
+                                 float cw, float nw, int halo) {
+    int x = blockIdx.x * blockDim.x + threadIdx.x;
+    int y = blockIdx.y * blockDim.y + threadIdx.y;
+    if (x >= w || y >= h) {
+        return;
+    }
+    for (int z = 0; z < d; z++) {
+        if (halo != 0 && (z < halo || z >= d - halo)) {
+            out[(z * h + y) * w + x] = 0.0f;
+            continue;
+        }
+        if (x == 0 || y == 0 || z == 0 || x == w - 1 || y == h - 1 || z == d - 1) {
+            out[(z * h + y) * w + x] = in[(z * h + y) * w + x];
+        } else {
+            float center = in[(z * h + y) * w + x];
+            float nsum = in[(z * h + y) * w + x - 1] + in[(z * h + y) * w + x + 1]
+                       + in[(z * h + y - 1) * w + x] + in[(z * h + y + 1) * w + x]
+                       + in[((z - 1) * h + y) * w + x] + in[((z + 1) * h + y) * w + x];
+            out[(z * h + y) * w + x] = center * cw + nsum * nw;
+        }
+    }
+}

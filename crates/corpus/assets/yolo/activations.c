@@ -1,0 +1,60 @@
+/* activations.c — darknet-style activation kernels (mini-C subset).
+ * Activation codes: 0 = linear, 1 = leaky, 2 = relu, 3 = logistic,
+ * 4 = tanh, 5 = elu. Real scenarios only exercise leaky/logistic,
+ * leaving the others uncovered, as in the paper's Figure 5. */
+
+float activate(float x, int a) {
+    if (a == 0) {
+        return x;
+    }
+    if (a == 1) {
+        if (x > 0.0f) {
+            return x;
+        }
+        return 0.1f * x;
+    }
+    if (a == 2) {
+        if (x > 0.0f) {
+            return x;
+        }
+        return 0.0f;
+    }
+    if (a == 3) {
+        return 1.0f / (1.0f + expf(0.0f - x));
+    }
+    if (a == 4) {
+        return tanhf(x);
+    }
+    if (a == 5) {
+        if (x >= 0.0f) {
+            return x;
+        }
+        return expf(x) - 1.0f;
+    }
+    return x;
+}
+
+void activate_array(float* x, int n, int a) {
+    for (int i = 0; i < n; i++) {
+        x[i] = activate(x[i], a);
+    }
+}
+
+float gradient(float x, int a) {
+    if (a == 1) {
+        if (x > 0.0f) {
+            return 1.0f;
+        }
+        return 0.1f;
+    }
+    if (a == 3) {
+        return (1.0f - x) * x;
+    }
+    return 1.0f;
+}
+
+void gradient_array(float* x, int n, int a, float* delta) {
+    for (int i = 0; i < n; i++) {
+        delta[i] = delta[i] * gradient(x[i], a);
+    }
+}

@@ -1,0 +1,76 @@
+/* blas.c — vector helpers used throughout the network (mini-C subset). */
+
+void fill_cpu(int n, float alpha, float* x) {
+    if (n < 0 || x == 0) {
+        return;
+    }
+    for (int i = 0; i < n; i++) {
+        x[i] = alpha;
+    }
+}
+
+void copy_cpu(int n, float* x, float* y) {
+    for (int i = 0; i < n; i++) {
+        y[i] = x[i];
+    }
+}
+
+void axpy_cpu(int n, float alpha, float* x, float* y) {
+    for (int i = 0; i < n; i++) {
+        y[i] = y[i] + alpha * x[i];
+    }
+}
+
+void scal_cpu(int n, float alpha, float* x) {
+    for (int i = 0; i < n; i++) {
+        x[i] = x[i] * alpha;
+    }
+}
+
+float dot_cpu(int n, float* x, float* y) {
+    float sum = 0.0f;
+    for (int i = 0; i < n; i++) {
+        sum = sum + x[i] * y[i];
+    }
+    return sum;
+}
+
+/* Batch normalisation inference path; scale==0 and the rolling branch
+ * are training-only and never hit by inference scenarios. */
+void normalize_cpu(float* x, float* mean, float* variance, int filters, int spatial) {
+    for (int f = 0; f < filters; f++) {
+        for (int i = 0; i < spatial; i++) {
+            float denom = sqrtf(variance[f]) + 0.000001f;
+            if (denom > 0.0f && variance[f] >= 0.0f) {
+                x[f * spatial + i] = (x[f * spatial + i] - mean[f]) / denom;
+            } else {
+                x[f * spatial + i] = 0.0f;
+            }
+        }
+    }
+}
+
+void mean_cpu(float* x, int filters, int spatial, float* mean) {
+    for (int f = 0; f < filters; f++) {
+        mean[f] = 0.0f;
+        for (int i = 0; i < spatial; i++) {
+            mean[f] = mean[f] + x[f * spatial + i];
+        }
+        if (spatial > 0) {
+            mean[f] = mean[f] / spatial;
+        }
+    }
+}
+
+void variance_cpu(float* x, float* mean, int filters, int spatial, float* variance) {
+    for (int f = 0; f < filters; f++) {
+        variance[f] = 0.0f;
+        for (int i = 0; i < spatial; i++) {
+            float d = x[f * spatial + i] - mean[f];
+            variance[f] = variance[f] + d * d;
+        }
+        if (spatial > 1) {
+            variance[f] = variance[f] / (spatial - 1);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+/* box.c — bounding-box geometry and NMS (mini-C subset).
+ * Boxes are flat arrays [x, y, w, h]. Several IOU corner cases (zero
+ * overlap, containment) only fire on specific scene layouts. */
+
+float overlap(float x1, float w1, float x2, float w2) {
+    float l1 = x1 - w1 / 2.0f;
+    float l2 = x2 - w2 / 2.0f;
+    float left = l1;
+    if (l2 > l1) {
+        left = l2;
+    }
+    float r1 = x1 + w1 / 2.0f;
+    float r2 = x2 + w2 / 2.0f;
+    float right = r1;
+    if (r2 < r1) {
+        right = r2;
+    }
+    return right - left;
+}
+
+float box_intersection(float* a, float* b) {
+    float w = overlap(a[0], a[2], b[0], b[2]);
+    float h = overlap(a[1], a[3], b[1], b[3]);
+    if (w < 0.0f || h < 0.0f) {
+        return 0.0f;
+    }
+    return w * h;
+}
+
+float box_union(float* a, float* b) {
+    float i = box_intersection(a, b);
+    return a[2] * a[3] + b[2] * b[3] - i;
+}
+
+float box_iou(float* a, float* b) {
+    float u = box_union(a, b);
+    if (u <= 0.0f) {
+        return 0.0f;
+    }
+    return box_intersection(a, b) / u;
+}
+
+/* Greedy NMS over `n` boxes with scores; suppressed scores set to 0.
+ * boxes: n*4 floats. Returns number of surviving boxes. */
+int nms_boxes(float* boxes, float* scores, int n, float thresh) {
+    int kept = 0;
+    for (int i = 0; i < n; i++) {
+        if (scores[i] <= 0.0f) {
+            continue;
+        }
+        for (int j = i + 1; j < n; j++) {
+            if (scores[j] <= 0.0f) {
+                continue;
+            }
+            float iou = box_iou(boxes + i * 4, boxes + j * 4);
+            if (iou > thresh) {
+                if (scores[i] >= scores[j]) {
+                    scores[j] = 0.0f;
+                } else {
+                    scores[i] = 0.0f;
+                }
+            }
+        }
+    }
+    for (int i = 0; i < n; i++) {
+        if (scores[i] > 0.0f) {
+            kept = kept + 1;
+        }
+    }
+    return kept;
+}

@@ -1,0 +1,56 @@
+/* col2im.c — column-to-image scatter, only needed by backprop.
+ * Inference scenarios barely touch this file (the paper's lowest-
+ * coverage files behave the same way). */
+
+void col2im_add_pixel(float* im, int height, int width, int row, int col,
+                      int channel, int pad, float val) {
+    int r = row - pad;
+    int c = col - pad;
+    if (r < 0 || c < 0 || r >= height || c >= width) {
+        return;
+    }
+    im[(channel * height + r) * width + c] = im[(channel * height + r) * width + c] + val;
+}
+
+void col2im_cpu(float* data_col, int channels, int height, int width,
+                int ksize, int stride, int pad, float* data_im) {
+    int height_col = (height + 2 * pad - ksize) / stride + 1;
+    int width_col = (width + 2 * pad - ksize) / stride + 1;
+    int channels_col = channels * ksize * ksize;
+    for (int c = 0; c < channels_col; c++) {
+        int w_offset = c % ksize;
+        int h_offset = (c / ksize) % ksize;
+        int c_im = c / ksize / ksize;
+        for (int h = 0; h < height_col; h++) {
+            for (int w = 0; w < width_col; w++) {
+                int im_row = h_offset + h * stride;
+                int im_col = w_offset + w * stride;
+                float val = data_col[(c * height_col + h) * width_col + w];
+                col2im_add_pixel(data_im, height, width, im_row, im_col, c_im, pad, val);
+            }
+        }
+    }
+}
+
+/* Weight-gradient accumulation, training only. */
+void backward_bias(float* bias_updates, float* delta, int batch, int n, int size) {
+    for (int b = 0; b < batch; b++) {
+        for (int i = 0; i < n; i++) {
+            float sum = 0.0f;
+            for (int j = 0; j < size; j++) {
+                sum = sum + delta[size * (i + b * n) + j];
+            }
+            bias_updates[i] = bias_updates[i] + sum;
+        }
+    }
+}
+
+int col2im_checksum(float* data, int n) {
+    int nonzero = 0;
+    for (int i = 0; i < n; i++) {
+        if (data[i] != 0.0f) {
+            nonzero = nonzero + 1;
+        }
+    }
+    return nonzero;
+}

@@ -1,0 +1,63 @@
+/* convolutional.c — the forward convolutional layer (mini-C subset).
+ * Parameters are passed explicitly, darknet kernel style. Batch-norm
+ * and grouped paths are only partly exercised by inference scenarios. */
+
+void add_bias(float* output, float* biases, int batch, int n, int size) {
+    for (int b = 0; b < batch; b++) {
+        for (int i = 0; i < n; i++) {
+            for (int j = 0; j < size; j++) {
+                output[(b * n + i) * size + j] = output[(b * n + i) * size + j] + biases[i];
+            }
+        }
+    }
+}
+
+void scale_bias(float* output, float* scales, int batch, int n, int size) {
+    for (int b = 0; b < batch; b++) {
+        for (int i = 0; i < n; i++) {
+            for (int j = 0; j < size; j++) {
+                output[(b * n + i) * size + j] = output[(b * n + i) * size + j] * scales[i];
+            }
+        }
+    }
+}
+
+int convolutional_out_size(int in, int pad, int ksize, int stride) {
+    if (stride <= 0) {
+        return 0;
+    }
+    return (in + 2 * pad - ksize) / stride + 1;
+}
+
+/* Forward pass: im2col + gemm + bias (+ optional batchnorm) + leaky.
+ * batch_normalize != 0 requires mean/variance/scales buffers. */
+void forward_convolutional(int batch, int in_c, int in_h, int in_w,
+                           int out_c, int ksize, int stride, int pad,
+                           float* input, float* weights, float* biases,
+                           int batch_normalize, float* scales,
+                           float* mean, float* variance,
+                           float* workspace, float* output, int activation) {
+    int out_h = convolutional_out_size(in_h, pad, ksize, stride);
+    int out_w = convolutional_out_size(in_w, pad, ksize, stride);
+    int m = out_c;
+    int k = in_c * ksize * ksize;
+    int n = out_h * out_w;
+    fill_cpu(batch * out_c * n, 0.0f, output);
+    for (int b = 0; b < batch; b++) {
+        float* im = input + b * in_c * in_h * in_w;
+        if (ksize == 1 && stride == 1 && pad == 0) {
+            gemm_cpu(0, 0, m, n, k, 1.0f, weights, k, im, n, 1.0f,
+                     output + b * m * n, n);
+        } else {
+            im2col_cpu(im, in_c, in_h, in_w, ksize, stride, pad, workspace);
+            gemm_cpu(0, 0, m, n, k, 1.0f, weights, k, workspace, n, 1.0f,
+                     output + b * m * n, n);
+        }
+    }
+    if (batch_normalize != 0) {
+        normalize_cpu(output, mean, variance, out_c, n);
+        scale_bias(output, scales, batch, out_c, n);
+    }
+    add_bias(output, biases, batch, out_c, n);
+    activate_array(output, batch * out_c * n, activation);
+}

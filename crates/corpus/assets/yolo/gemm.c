@@ -1,0 +1,62 @@
+/* gemm.c — darknet-style GEMM with transpose variants (mini-C subset).
+ * Inference only uses the NN case; NT/TN/TT remain uncovered. */
+
+void gemm_nn(int M, int N, int K, float alpha, float* A, int lda,
+             float* B, int ldb, float* C, int ldc) {
+    for (int i = 0; i < M; i++) {
+        for (int k = 0; k < K; k++) {
+            float a_part = alpha * A[i * lda + k];
+            for (int j = 0; j < N; j++) {
+                C[i * ldc + j] = C[i * ldc + j] + a_part * B[k * ldb + j];
+            }
+        }
+    }
+}
+
+void gemm_nt(int M, int N, int K, float alpha, float* A, int lda,
+             float* B, int ldb, float* C, int ldc) {
+    for (int i = 0; i < M; i++) {
+        for (int j = 0; j < N; j++) {
+            float sum = 0.0f;
+            for (int k = 0; k < K; k++) {
+                sum = sum + alpha * A[i * lda + k] * B[j * ldb + k];
+            }
+            C[i * ldc + j] = C[i * ldc + j] + sum;
+        }
+    }
+}
+
+void gemm_tn(int M, int N, int K, float alpha, float* A, int lda,
+             float* B, int ldb, float* C, int ldc) {
+    for (int i = 0; i < M; i++) {
+        for (int k = 0; k < K; k++) {
+            float a_part = alpha * A[k * lda + i];
+            for (int j = 0; j < N; j++) {
+                C[i * ldc + j] = C[i * ldc + j] + a_part * B[k * ldb + j];
+            }
+        }
+    }
+}
+
+void gemm_cpu(int TA, int TB, int M, int N, int K, float alpha,
+              float* A, int lda, float* B, int ldb, float beta,
+              float* C, int ldc) {
+    for (int i = 0; i < M; i++) {
+        for (int j = 0; j < N; j++) {
+            C[i * ldc + j] = C[i * ldc + j] * beta;
+        }
+    }
+    if (TA == 0 && TB == 0) {
+        gemm_nn(M, N, K, alpha, A, lda, B, ldb, C, ldc);
+    } else {
+        if (TA == 0 && TB == 1) {
+            gemm_nt(M, N, K, alpha, A, lda, B, ldb, C, ldc);
+        } else {
+            if (TA == 1 && TB == 0) {
+                gemm_tn(M, N, K, alpha, A, lda, B, ldb, C, ldc);
+            } else {
+                gemm_nt(M, N, K, alpha, A, lda, B, ldb, C, ldc);
+            }
+        }
+    }
+}

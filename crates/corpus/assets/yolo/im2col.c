@@ -1,0 +1,35 @@
+/* im2col.c — image-to-column unrolling for GEMM convolution. */
+
+float im2col_get_pixel(float* im, int height, int width, int row, int col,
+                       int channel, int pad) {
+    int r = row - pad;
+    int c = col - pad;
+    if (r < 0 || c < 0 || r >= height || c >= width) {
+        return 0.0f;
+    }
+    return im[(channel * height + r) * width + c];
+}
+
+void im2col_cpu(float* data_im, int channels, int height, int width,
+                int ksize, int stride, int pad, float* data_col) {
+    if (stride <= 0 || ksize <= 0) {
+        return;
+    }
+    int height_col = (height + 2 * pad - ksize) / stride + 1;
+    int width_col = (width + 2 * pad - ksize) / stride + 1;
+    int channels_col = channels * ksize * ksize;
+    for (int c = 0; c < channels_col; c++) {
+        int w_offset = c % ksize;
+        int h_offset = (c / ksize) % ksize;
+        int c_im = c / ksize / ksize;
+        for (int h = 0; h < height_col; h++) {
+            for (int w = 0; w < width_col; w++) {
+                int im_row = h_offset + h * stride;
+                int im_col = w_offset + w * stride;
+                int col_index = (c * height_col + h) * width_col + w;
+                data_col[col_index] =
+                    im2col_get_pixel(data_im, height, width, im_row, im_col, c_im, pad);
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+/* image.c — image loading stand-ins and preprocessing (mini-C subset).
+ * Letterboxing and flipping exist for training/augmentation and are
+ * not reached by the inference scenarios. */
+
+void constrain_image(float* im, int n) {
+    for (int i = 0; i < n; i++) {
+        if (im[i] < 0.0f) {
+            im[i] = 0.0f;
+        }
+        if (im[i] > 1.0f) {
+            im[i] = 1.0f;
+        }
+    }
+}
+
+void scale_image(float* im, int n, float s) {
+    for (int i = 0; i < n; i++) {
+        im[i] = im[i] * s;
+    }
+}
+
+/* Nearest-neighbour resize of a c×h×w image into c×oh×ow. */
+void resize_image(float* im, int c, int h, int w, float* out, int oh, int ow) {
+    for (int k = 0; k < c; k++) {
+        for (int y = 0; y < oh; y++) {
+            for (int x = 0; x < ow; x++) {
+                int sy = y * h / oh;
+                int sx = x * w / ow;
+                if (sy >= h) {
+                    sy = h - 1;
+                }
+                if (sx >= w) {
+                    sx = w - 1;
+                }
+                out[(k * oh + y) * ow + x] = im[(k * h + sy) * w + sx];
+            }
+        }
+    }
+}
+
+void flip_image(float* im, int c, int h, int w) {
+    for (int k = 0; k < c; k++) {
+        for (int y = 0; y < h; y++) {
+            for (int x = 0; x < w / 2; x++) {
+                float tmp = im[(k * h + y) * w + x];
+                im[(k * h + y) * w + x] = im[(k * h + y) * w + (w - 1 - x)];
+                im[(k * h + y) * w + (w - 1 - x)] = tmp;
+            }
+        }
+    }
+}
+
+/* Synthetic camera frame: bright square blob on a dim background. */
+void make_test_frame(float* im, int c, int hw, int cx, int cy, int r) {
+    for (int k = 0; k < c; k++) {
+        for (int y = 0; y < hw; y++) {
+            for (int x = 0; x < hw; x++) {
+                float v = 0.1f;
+                int dx = x - cx;
+                int dy = y - cy;
+                if (dx < 0) {
+                    dx = 0 - dx;
+                }
+                if (dy < 0) {
+                    dy = 0 - dy;
+                }
+                if (dx <= r && dy <= r) {
+                    v = 0.9f;
+                }
+                im[(k * hw + y) * hw + x] = v;
+            }
+        }
+    }
+}

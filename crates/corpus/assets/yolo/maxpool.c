@@ -1,0 +1,56 @@
+/* maxpool.c — max-pooling forward pass (mini-C subset). */
+
+int maxpool_out_size(int in, int size, int stride, int padding) {
+    if (stride <= 0) {
+        return 0;
+    }
+    return (in + padding - size) / stride + 1;
+}
+
+void forward_maxpool(int batch, int c, int h, int w, int size, int stride,
+                     int padding, float* input, float* output) {
+    int out_h = maxpool_out_size(h, size, stride, padding);
+    int out_w = maxpool_out_size(w, size, stride, padding);
+    int w_offset = 0 - padding / 2;
+    int h_offset = 0 - padding / 2;
+    for (int b = 0; b < batch; b++) {
+        for (int k = 0; k < c; k++) {
+            for (int i = 0; i < out_h; i++) {
+                for (int j = 0; j < out_w; j++) {
+                    float max = 0.0f - 1000000.0f;
+                    for (int n = 0; n < size; n++) {
+                        for (int m = 0; m < size; m++) {
+                            int cur_h = h_offset + i * stride + n;
+                            int cur_w = w_offset + j * stride + m;
+                            if (cur_h >= 0 && cur_w >= 0 && cur_h < h && cur_w < w) {
+                                float val = input[((b * c + k) * h + cur_h) * w + cur_w];
+                                if (val > max) {
+                                    max = val;
+                                }
+                            }
+                        }
+                    }
+                    output[((b * c + k) * out_h + i) * out_w + j] = max;
+                }
+            }
+        }
+    }
+}
+
+/* Average pooling — defined for completeness, unused by tiny-YOLO
+ * inference scenarios. */
+void forward_avgpool(int batch, int c, int h, int w, float* input, float* output) {
+    for (int b = 0; b < batch; b++) {
+        for (int k = 0; k < c; k++) {
+            float sum = 0.0f;
+            for (int i = 0; i < h * w; i++) {
+                sum = sum + input[(b * c + k) * h * w + i];
+            }
+            if (h * w > 0) {
+                output[b * c + k] = sum / (h * w);
+            } else {
+                output[b * c + k] = 0.0f;
+            }
+        }
+    }
+}

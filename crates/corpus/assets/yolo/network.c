@@ -1,0 +1,102 @@
+/* network.c — tiny-YOLO network assembly and the detection entry point
+ * (mini-C subset). The entry `run_detection` is what the real-scenario
+ * tests call, mirroring the paper's Figure 5 methodology. */
+
+/* One conv(3x3,pad1)+leaky+maxpool(2x2,s2) stage. Returns out elems. */
+int forward_stage(int in_c, int hw, int out_c, float* input, float* weights,
+                  float* biases, float* workspace, float* conv_out, float* output) {
+    forward_convolutional(1, in_c, hw, hw, out_c, 3, 1, 1,
+                          input, weights, biases, 0, 0, 0, 0,
+                          workspace, conv_out, 1);
+    forward_maxpool(1, out_c, hw, hw, 2, 2, 0, conv_out, output);
+    int ohw = hw / 2;
+    return out_c * ohw * ohw;
+}
+
+/* Full pipeline: preprocess, two conv+pool stages, 1x1 head, decode,
+ * NMS. Returns the number of final detections. */
+int run_detection(float* frame, int hw, int classes, float thresh) {
+    if (hw < 8 || classes <= 0) {
+        return 0 - 2;
+    }
+    int c = 3;
+    int stage1_c = 4;
+    int stage2_c = 8;
+    int n_in = c * hw * hw;
+    constrain_image(frame, n_in);
+
+    int w1_n = stage1_c * c * 9;
+    int w2_n = stage2_c * stage1_c * 9;
+    float* w1 = malloc(w1_n * 4);
+    float* w2 = malloc(w2_n * 4);
+    float* b1 = malloc(stage1_c * 4);
+    float* b2 = malloc(stage2_c * 4);
+    seed_weights(w1, w1_n, 7);
+    seed_weights(w2, w2_n, 19);
+    fill_cpu(stage1_c, 0.05f, b1);
+    fill_cpu(stage2_c, 0.05f, b2);
+
+    float* workspace = malloc(stage2_c * 9 * hw * hw * 4);
+    float* conv_buf = malloc(stage2_c * hw * hw * 4);
+    float* act1 = malloc(stage1_c * hw * hw * 4);
+    forward_stage(c, hw, stage1_c, frame, w1, b1, workspace, conv_buf, act1);
+    int hw2 = hw / 2;
+    float* act2 = malloc(stage2_c * hw2 * hw2 * 4);
+    forward_stage(stage1_c, hw2, stage2_c, act1, w2, b2, workspace, conv_buf, act2);
+    int grid = hw2 / 2;
+
+    /* 1x1 head producing (classes + 5) maps over the grid. */
+    int head_c = classes + 5;
+    int wh_n = head_c * stage2_c;
+    float* wh = malloc(wh_n * 4);
+    float* bh = malloc(head_c * 4);
+    seed_weights(wh, wh_n, 3);
+    fill_cpu(head_c, 0.1f, bh);
+    float* head = malloc(head_c * grid * grid * 4);
+    forward_convolutional(1, stage2_c, grid, grid, head_c, 1, 1, 0,
+                          act2, wh, bh, 0, 0, 0, 0, workspace, head, 0);
+
+    /* Transpose channel-major head into per-cell records. */
+    int cells = grid * grid;
+    float* preds = malloc(cells * head_c * 4);
+    for (int ch = 0; ch < head_c; ch++) {
+        for (int i = 0; i < cells; i++) {
+            preds[i * head_c + ch] = head[ch * cells + i];
+        }
+    }
+
+    float* boxes = malloc(cells * 4 * 4);
+    float* scores = malloc(cells * 4);
+    int* det_classes = malloc(cells * 4);
+    int count = decode_region(preds, grid, classes, thresh, boxes, scores, det_classes);
+    int kept = count;
+    if (count > 1) {
+        kept = nms_boxes(boxes, scores, count, 0.45f);
+    }
+
+    free(w1);
+    free(w2);
+    free(b1);
+    free(b2);
+    free(workspace);
+    free(conv_buf);
+    free(act1);
+    free(act2);
+    free(wh);
+    free(bh);
+    free(head);
+    free(preds);
+    free(boxes);
+    free(scores);
+    free(det_classes);
+    return kept;
+}
+
+/* Scenario wrapper: build a synthetic frame and run the detector. */
+int detect_scene(int hw, int cx, int cy, int blob, int classes, float thresh) {
+    float* frame = malloc(3 * hw * hw * 4);
+    make_test_frame(frame, 3, hw, cx, cy, blob);
+    int n = run_detection(frame, hw, classes, thresh);
+    free(frame);
+    return n;
+}

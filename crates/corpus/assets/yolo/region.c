@@ -1,0 +1,67 @@
+/* region.c — YOLO region/detection head decode (mini-C subset).
+ * predictions layout per cell: [obj, cls0..clsC-1, x, y, w, h]. */
+
+float logistic(float x) {
+    return 1.0f / (1.0f + expf(0.0f - x));
+}
+
+void softmax_cpu(float* input, int n, float* output) {
+    float largest = 0.0f - 1000000.0f;
+    for (int i = 0; i < n; i++) {
+        if (input[i] > largest) {
+            largest = input[i];
+        }
+    }
+    float sum = 0.0f;
+    for (int i = 0; i < n; i++) {
+        float e = expf(input[i] - largest);
+        sum = sum + e;
+        output[i] = e;
+    }
+    if (sum > 0.0f) {
+        for (int i = 0; i < n; i++) {
+            output[i] = output[i] / sum;
+        }
+    }
+}
+
+int best_class(float* probs, int classes) {
+    int best = 0;
+    for (int c = 1; c < classes; c++) {
+        if (probs[c] > probs[best]) {
+            best = c;
+        }
+    }
+    return best;
+}
+
+/* Decodes grid predictions into boxes+scores. Returns detections
+ * above thresh. boxes: out n*4, scores: out n, classes_out: out n. */
+int decode_region(float* predictions, int grid, int classes, float thresh,
+                  float* boxes, float* scores, int* classes_out) {
+    int stride = classes + 5;
+    int count = 0;
+    float* probs = malloc(classes * 4);
+    for (int y = 0; y < grid; y++) {
+        for (int x = 0; x < grid; x++) {
+            float* cell = predictions + (y * grid + x) * stride;
+            float obj = logistic(cell[0]);
+            if (obj > thresh) {
+                softmax_cpu(cell + 1, classes, probs);
+                int cls = best_class(probs, classes);
+                float conf = obj * probs[cls];
+                if (conf > thresh) {
+                    boxes[count * 4 + 0] = (x + logistic(cell[classes + 1])) / grid;
+                    boxes[count * 4 + 1] = (y + logistic(cell[classes + 2])) / grid;
+                    boxes[count * 4 + 2] = expf(cell[classes + 3]) / grid;
+                    boxes[count * 4 + 3] = expf(cell[classes + 4]) / grid;
+                    scores[count] = conf;
+                    classes_out[count] = cls;
+                    count = count + 1;
+                }
+            }
+        }
+    }
+    free(probs);
+    return count;
+}

@@ -1,0 +1,65 @@
+/* utils.c — misc numeric helpers (mini-C subset). Some (rand ranges,
+ * error paths) are development-time utilities never hit in inference. */
+
+float constrain(float min, float max, float a) {
+    if (a < min) {
+        return min;
+    }
+    if (a > max) {
+        return max;
+    }
+    return a;
+}
+
+int max_index(float* a, int n) {
+    if (n <= 0) {
+        return 0 - 1;
+    }
+    int max_i = 0;
+    float max = a[0];
+    for (int i = 1; i < n; i++) {
+        if (a[i] > max) {
+            max = a[i];
+            max_i = i;
+        }
+    }
+    return max_i;
+}
+
+float sum_array(float* a, int n) {
+    float sum = 0.0f;
+    for (int i = 0; i < n; i++) {
+        sum = sum + a[i];
+    }
+    return sum;
+}
+
+float mag_array(float* a, int n) {
+    float sum = 0.0f;
+    for (int i = 0; i < n; i++) {
+        sum = sum + a[i] * a[i];
+    }
+    return sqrtf(sum);
+}
+
+float rand_uniform(float min, float max) {
+    if (max < min) {
+        float swap = min;
+        min = max;
+        max = swap;
+    }
+    int r = rand();
+    float unit = (r % 10000) / 10000.0f;
+    return min + unit * (max - min);
+}
+
+/* Deterministic pseudo-weights for the test network. */
+void seed_weights(float* w, int n, int seed) {
+    for (int i = 0; i < n; i++) {
+        int h = (i * 1103515245 + seed * 12345) % 1000;
+        if (h < 0) {
+            h = 0 - h;
+        }
+        w[i] = (h / 1000.0f - 0.5f) * 0.2f;
+    }
+}

@@ -1,0 +1,88 @@
+//! Small indented-source writer used by the corpus generator.
+
+/// Accumulates generated C++ source with indentation management.
+#[derive(Debug, Default)]
+pub struct CodeWriter {
+    buf: String,
+    indent: usize,
+}
+
+impl CodeWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes one line at the current indent.
+    pub fn line(&mut self, s: &str) {
+        if s.is_empty() {
+            self.buf.push('\n');
+            return;
+        }
+        for _ in 0..self.indent {
+            self.buf.push_str("  ");
+        }
+        self.buf.push_str(s);
+        self.buf.push('\n');
+    }
+
+    /// Writes a line and increases the indent (e.g. `"if (x) {"`).
+    pub fn open(&mut self, s: &str) {
+        self.line(s);
+        self.indent += 1;
+    }
+
+    /// Decreases the indent and writes a line (e.g. `"}"`).
+    pub fn close(&mut self, s: &str) {
+        self.indent = self.indent.saturating_sub(1);
+        self.line(s);
+    }
+
+    /// Current number of lines.
+    pub fn lines(&self) -> usize {
+        self.buf.matches('\n').count()
+    }
+
+    /// Finishes and returns the source text.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indentation_tracks_open_close() {
+        let mut w = CodeWriter::new();
+        w.open("void f() {");
+        w.line("int x = 1;");
+        w.open("if (x) {");
+        w.line("x++;");
+        w.close("}");
+        w.close("}");
+        let s = w.finish();
+        assert_eq!(
+            s,
+            "void f() {\n  int x = 1;\n  if (x) {\n    x++;\n  }\n}\n"
+        );
+    }
+
+    #[test]
+    fn empty_lines_have_no_indent() {
+        let mut w = CodeWriter::new();
+        w.open("ns {");
+        w.line("");
+        w.close("}");
+        assert_eq!(w.finish(), "ns {\n\n}\n");
+    }
+
+    #[test]
+    fn line_count() {
+        let mut w = CodeWriter::new();
+        w.line("a");
+        w.line("b");
+        assert_eq!(w.lines(), 2);
+    }
+}

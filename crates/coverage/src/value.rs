@@ -1,0 +1,149 @@
+//! Runtime values for the mini-C interpreter.
+//!
+//! The interpreter executes the struct-free C subset the coverage corpus
+//! is written in: scalars, flat and nested arrays, and pointers into
+//! arrays (the darknet/YOLO kernel style: `gemm(int M, int N, float* A,
+//! ...)`).
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// A heap buffer: the backing store of arrays and `malloc` results.
+pub type Buf = Rc<RefCell<Vec<Value>>>;
+
+/// A runtime value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Integer (also used for bool and char).
+    Int(i64),
+    /// Floating point (float and double are both f64 at runtime).
+    Float(f64),
+    /// A buffer (array object).
+    Buf(Buf),
+    /// A pointer into a buffer at an element offset.
+    Ptr(Buf, usize),
+    /// A string literal.
+    Str(String),
+    /// Absence of a value (`void`, uninitialised).
+    Void,
+}
+
+impl Value {
+    /// Creates a zero-filled buffer of length `n`.
+    pub fn zeros(n: usize) -> Value {
+        Value::Buf(Rc::new(RefCell::new(vec![Value::Float(0.0); n])))
+    }
+
+    /// Creates a zero-filled integer buffer of length `n`.
+    pub fn int_zeros(n: usize) -> Value {
+        Value::Buf(Rc::new(RefCell::new(vec![Value::Int(0); n])))
+    }
+
+    /// Numeric truthiness (C semantics). Pointers are truthy; `Void` is
+    /// falsy (used for NULL).
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Int(v) => *v != 0,
+            Value::Float(v) => *v != 0.0,
+            Value::Buf(_) | Value::Ptr(..) | Value::Str(_) => true,
+            Value::Void => false,
+        }
+    }
+
+    /// As f64, coercing integers.
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Value::Int(v) => *v as f64,
+            Value::Float(v) => *v,
+            _ => 0.0,
+        }
+    }
+
+    /// As i64, truncating floats.
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            Value::Int(v) => *v,
+            Value::Float(v) => *v as i64,
+            Value::Ptr(_, off) => *off as i64,
+            _ => 0,
+        }
+    }
+
+    /// Whether the value is floating-point.
+    pub fn is_float(&self) -> bool {
+        matches!(self, Value::Float(_))
+    }
+
+    /// The buffer and offset a pointer-like value designates.
+    pub fn as_ptr(&self) -> Option<(Buf, usize)> {
+        match self {
+            Value::Buf(b) => Some((b.clone(), 0)),
+            Value::Ptr(b, off) => Some((b.clone(), *off)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Buf(b) => write!(f, "buf[{}]", b.borrow().len()),
+            Value::Ptr(b, off) => write!(f, "ptr[{}+{off}]", b.borrow().len()),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Void => write!(f, "void"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Int(1).truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::Float(0.5).truthy());
+        assert!(!Value::Float(0.0).truthy());
+        assert!(!Value::Void.truthy());
+        assert!(Value::zeros(1).truthy());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::Int(3).as_f64(), 3.0);
+        assert_eq!(Value::Float(2.7).as_i64(), 2);
+        assert!(Value::Float(1.0).is_float());
+        assert!(!Value::Int(1).is_float());
+    }
+
+    #[test]
+    fn pointer_views() {
+        let b = Value::zeros(4);
+        let (buf, off) = b.as_ptr().unwrap();
+        assert_eq!(off, 0);
+        let p = Value::Ptr(buf, 2);
+        assert_eq!(p.as_ptr().unwrap().1, 2);
+        assert!(Value::Int(0).as_ptr().is_none());
+    }
+
+    #[test]
+    fn buffers_share_storage() {
+        let b = Value::zeros(3);
+        if let Value::Buf(buf) = &b {
+            buf.borrow_mut()[1] = Value::Float(9.0);
+        }
+        let (buf, _) = b.as_ptr().unwrap();
+        assert_eq!(buf.borrow()[1].as_f64(), 9.0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::Void.to_string(), "void");
+        assert_eq!(Value::zeros(2).to_string(), "buf[2]");
+    }
+}

@@ -1,0 +1,39 @@
+//! # adsafe-iso26262 — ISO 26262 Part-6 standard model and compliance engine
+//!
+//! Models the recommendation tables of ISO 26262 Part 6 that the paper
+//! assesses (its Tables 1–3), the ASIL/recommendation notation, and a
+//! compliance engine that turns measured [`Evidence`] into per-topic
+//! verdicts and the paper's fourteen observations.
+//!
+//! ```
+//! use adsafe_iso26262::{assess, Asil, Evidence, Status, TableId};
+//!
+//! let evidence = Evidence {
+//!     total_functions: 100,
+//!     goto_count: 7,
+//!     validation_ratio: 1.0,
+//!     mean_cohesion: 0.8,
+//!     hierarchical_structure: true,
+//!     has_scheduling_policy: true,
+//!     ..Evidence::default()
+//! };
+//! let report = assess(&evidence, Asil::D);
+//! let unit = report.table(TableId::UnitDesign);
+//! assert_eq!(unit[8].status, Status::NonCompliant); // row 9: no unconditional jumps
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod asil;
+pub mod compliance;
+pub mod coverage_reqs;
+pub mod evidence;
+pub mod observations;
+pub mod tables;
+
+pub use asil::{Asil, Recommendation};
+pub use compliance::{assess, ComplianceReport, Effort, Status, TopicVerdict};
+pub use coverage_reqs::{judge_coverage, CoverageMetric, CoverageVerdict};
+pub use evidence::{CoverageEvidence, Evidence, GpuEvidence};
+pub use observations::{observations, Observation};
+pub use tables::{all_topics, topic_by_reference, TableId, Topic};

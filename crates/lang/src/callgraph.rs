@@ -1,0 +1,293 @@
+//! Name-based call graph over a set of translation units, with Tarjan SCC
+//! computation for recursion detection (ISO 26262-6 Table 8 row 10 / MISRA
+//! C:2012 rule 17.2).
+
+use crate::ast::{ExprKind, TranslationUnit};
+use crate::visit::walk_exprs;
+use std::collections::{HashMap, HashSet};
+
+/// A call graph: nodes are function names, edges are direct calls.
+#[derive(Debug, Default, Clone)]
+pub struct CallGraph {
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+    edges: Vec<HashSet<usize>>,
+    /// Calls to functions not defined in the analysed units (externals).
+    external_calls: HashMap<String, usize>,
+}
+
+impl CallGraph {
+    /// Builds a call graph over the given translation units.
+    ///
+    /// Resolution is by unqualified name: `ns::f` defines both `ns::f` and
+    /// `f` as candidate targets, matching how a linker-less static analysis
+    /// has to operate.
+    pub fn build(units: &[&TranslationUnit]) -> Self {
+        let mut g = CallGraph::default();
+        // Pass 1: nodes.
+        for u in units {
+            for f in u.functions() {
+                g.intern(&f.sig.qualified_name);
+            }
+        }
+        let mut by_simple: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, name) in g.names.iter().enumerate() {
+            let simple = name.rsplit("::").next().unwrap_or(name).to_string();
+            by_simple.entry(simple).or_default().push(i);
+        }
+        // Pass 2: edges.
+        for u in units {
+            for f in u.functions() {
+                let from = g.index[&f.sig.qualified_name];
+                let mut callees: Vec<String> = Vec::new();
+                walk_exprs(f, |e| {
+                    if matches!(e.kind, ExprKind::Call { .. } | ExprKind::KernelLaunch { .. }) {
+                        if let Some(name) = e.callee_name() {
+                            callees.push(name.to_string());
+                        }
+                    }
+                });
+                for callee in callees {
+                    let simple = callee.rsplit("::").next().unwrap_or(&callee);
+                    if let Some(targets) = by_simple.get(simple) {
+                        for &t in targets {
+                            g.edges[from].insert(t);
+                        }
+                    } else {
+                        *g.external_calls.entry(callee).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    fn intern(&mut self, name: &str) -> usize {
+        if let Some(&i) = self.index.get(name) {
+            return i;
+        }
+        let i = self.names.len();
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), i);
+        self.edges.push(HashSet::new());
+        i
+    }
+
+    /// Number of function nodes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Function names in insertion order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Direct callees of `name` (qualified), if the node exists.
+    pub fn callees(&self, name: &str) -> Option<Vec<&str>> {
+        let i = *self.index.get(name)?;
+        let mut v: Vec<&str> = self.edges[i].iter().map(|&j| self.names[j].as_str()).collect();
+        v.sort_unstable();
+        Some(v)
+    }
+
+    /// Number of distinct callers of each function (fan-in), by name.
+    pub fn fan_in(&self) -> HashMap<String, usize> {
+        let mut counts: HashMap<String, usize> = self.names.iter().map(|n| (n.clone(), 0)).collect();
+        for targets in &self.edges {
+            for &t in targets {
+                *counts.get_mut(&self.names[t]).expect("interned") += 1;
+            }
+        }
+        counts
+    }
+
+    /// Number of distinct callees of each function (fan-out), by name.
+    pub fn fan_out(&self) -> HashMap<String, usize> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), self.edges[i].len()))
+            .collect()
+    }
+
+    /// Calls whose target is not defined in the analysed units, with counts.
+    pub fn external_calls(&self) -> &HashMap<String, usize> {
+        &self.external_calls
+    }
+
+    /// Names of all functions that participate in recursion: members of a
+    /// non-trivial strongly connected component, or direct self-callers.
+    pub fn recursive_functions(&self) -> Vec<String> {
+        let sccs = self.tarjan_sccs();
+        let mut out = Vec::new();
+        for scc in sccs {
+            if scc.len() > 1 {
+                for i in scc {
+                    out.push(self.names[i].clone());
+                }
+            } else {
+                let i = scc[0];
+                if self.edges[i].contains(&i) {
+                    out.push(self.names[i].clone());
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Strongly connected components (Tarjan, iterative to avoid stack
+    /// overflow on deep graphs). Each SCC is a vector of node indices.
+    fn tarjan_sccs(&self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut index_counter = 0usize;
+        let mut indices = vec![usize::MAX; n];
+        let mut lowlink = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut sccs: Vec<Vec<usize>> = Vec::new();
+
+        // Iterative DFS frames: (node, iterator position over sorted edges).
+        let sorted_edges: Vec<Vec<usize>> = self
+            .edges
+            .iter()
+            .map(|s| {
+                let mut v: Vec<usize> = s.iter().copied().collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+
+        for start in 0..n {
+            if indices[start] != usize::MAX {
+                continue;
+            }
+            let mut frames: Vec<(usize, usize)> = vec![(start, 0)];
+            while let Some(&mut (v, ref mut ei)) = frames.last_mut() {
+                if *ei == 0 {
+                    indices[v] = index_counter;
+                    lowlink[v] = index_counter;
+                    index_counter += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                if *ei < sorted_edges[v].len() {
+                    let w = sorted_edges[v][*ei];
+                    *ei += 1;
+                    if indices[w] == usize::MAX {
+                        frames.push((w, 0));
+                    } else if on_stack[w] {
+                        lowlink[v] = lowlink[v].min(indices[w]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&mut (parent, _)) = frames.last_mut() {
+                        lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                    }
+                    if lowlink[v] == indices[v] {
+                        let mut scc = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("stack invariant");
+                            on_stack[w] = false;
+                            scc.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        sccs.push(scc);
+                    }
+                }
+            }
+        }
+        sccs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_source;
+    use crate::source::FileId;
+
+    fn graph(srcs: &[&str]) -> CallGraph {
+        let parsed: Vec<_> = srcs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| parse_source(FileId(i as u32), s))
+            .collect();
+        let units: Vec<&TranslationUnit> = parsed.iter().map(|p| &p.unit).collect();
+        CallGraph::build(&units)
+    }
+
+    #[test]
+    fn direct_recursion_detected() {
+        let g = graph(&["int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }"]);
+        assert_eq!(g.recursive_functions(), vec!["fact".to_string()]);
+    }
+
+    #[test]
+    fn mutual_recursion_detected() {
+        let g = graph(&[
+            "int is_even(int n);\nint is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }\n\
+             int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }",
+        ]);
+        let rec = g.recursive_functions();
+        assert_eq!(rec.len(), 2);
+        assert!(rec.contains(&"is_even".to_string()));
+        assert!(rec.contains(&"is_odd".to_string()));
+    }
+
+    #[test]
+    fn non_recursive_clean() {
+        let g = graph(&["int a() { return 1; } int b() { return a(); } int c() { return b(); }"]);
+        assert!(g.recursive_functions().is_empty());
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn fan_in_out() {
+        let g = graph(&["void leaf() {} void m() { leaf(); } void n() { leaf(); m(); }"]);
+        let fi = g.fan_in();
+        let fo = g.fan_out();
+        assert_eq!(fi["leaf"], 2);
+        assert_eq!(fo["n"], 2);
+        assert_eq!(fo["leaf"], 0);
+    }
+
+    #[test]
+    fn cross_unit_edges() {
+        let g = graph(&[
+            "void detect() { track(); }",
+            "void track() { detect(); }",
+        ]);
+        let rec = g.recursive_functions();
+        assert_eq!(rec.len(), 2);
+    }
+
+    #[test]
+    fn external_calls_recorded() {
+        let g = graph(&["void f() { cudaMalloc(0, 4); printf(\"x\"); printf(\"y\"); }"]);
+        assert_eq!(g.external_calls()["cudaMalloc"], 1);
+        assert_eq!(g.external_calls()["printf"], 2);
+    }
+
+    #[test]
+    fn qualified_name_resolution() {
+        let g = graph(&["namespace a { void f() {} }\nvoid g() { a::f(); }"]);
+        assert_eq!(g.callees("g").unwrap(), vec!["a::f"]);
+    }
+
+    #[test]
+    fn kernel_launch_creates_edge() {
+        let g = graph(&[
+            "__global__ void k(float* x) {}\nvoid h(float* x) { k<<<1, 32>>>(x); }",
+        ]);
+        assert_eq!(g.callees("h").unwrap(), vec!["k"]);
+    }
+}

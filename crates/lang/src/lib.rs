@@ -1,0 +1,44 @@
+//! # adsafe-lang — C/C++/CUDA front-end for safety analysis
+//!
+//! A lightweight, *error-tolerant* front-end for the C/C++/CUDA subset
+//! found in industrial autonomous-driving codebases. It powers the
+//! `adsafe` ISO 26262 adherence analyses: rather than compiling, it
+//! recovers enough structure (functions, control flow, expressions,
+//! casts, pointers, CUDA qualifiers and launches) to measure the
+//! properties ISO 26262 Part 6 cares about.
+//!
+//! The pipeline is: [`preprocess`](preprocess::preprocess) (comments,
+//! directives, conditionals) → [`lex`](lexer::lex) →
+//! [`parse_source`](parser::parse_source), all total functions that never
+//! fail on malformed input — unparseable regions become `Opaque` nodes.
+//!
+//! ## Example
+//!
+//! ```
+//! use adsafe_lang::{SourceMap, parse_source};
+//!
+//! let mut sm = SourceMap::new();
+//! let id = sm.add_file("demo.cu", "__global__ void k(float* x) { x[0] = 1.0f; }");
+//! let parsed = parse_source(id, sm.file(id).text());
+//! let kernels = adsafe_lang::cuda::kernels(&parsed.unit);
+//! assert_eq!(kernels.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod callgraph;
+pub mod cuda;
+pub mod lexer;
+pub mod parser;
+pub mod preprocess;
+pub mod printer;
+pub mod source;
+pub mod symbols;
+pub mod token;
+pub mod visit;
+
+pub use ast::TranslationUnit;
+pub use callgraph::CallGraph;
+pub use parser::{parse_source, ParsedFile};
+pub use source::{FileId, LineCol, SourceFile, SourceMap, Span};

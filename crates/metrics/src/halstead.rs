@@ -1,0 +1,164 @@
+//! Halstead software-science metrics, computed from the token stream.
+//!
+//! Used as a secondary complexity signal in the architectural-design
+//! assessment (ISO 26262-6 Table 3 "restricted size of software
+//! components" is about more than raw LOC).
+
+use adsafe_lang::lexer::lex;
+use adsafe_lang::token::TokenKind;
+use adsafe_lang::FileId;
+use std::collections::HashSet;
+
+/// Halstead metric bundle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Halstead {
+    /// Distinct operators (η₁).
+    pub distinct_operators: usize,
+    /// Distinct operands (η₂).
+    pub distinct_operands: usize,
+    /// Total operators (N₁).
+    pub total_operators: usize,
+    /// Total operands (N₂).
+    pub total_operands: usize,
+}
+
+impl Halstead {
+    /// Program vocabulary η = η₁ + η₂.
+    pub fn vocabulary(&self) -> usize {
+        self.distinct_operators + self.distinct_operands
+    }
+
+    /// Program length N = N₁ + N₂.
+    pub fn length(&self) -> usize {
+        self.total_operators + self.total_operands
+    }
+
+    /// Volume V = N · log₂(η).
+    pub fn volume(&self) -> f64 {
+        let eta = self.vocabulary();
+        if eta == 0 {
+            0.0
+        } else {
+            self.length() as f64 * (eta as f64).log2()
+        }
+    }
+
+    /// Difficulty D = (η₁ / 2) · (N₂ / η₂).
+    pub fn difficulty(&self) -> f64 {
+        if self.distinct_operands == 0 {
+            0.0
+        } else {
+            (self.distinct_operators as f64 / 2.0)
+                * (self.total_operands as f64 / self.distinct_operands as f64)
+        }
+    }
+
+    /// Effort E = D · V.
+    pub fn effort(&self) -> f64 {
+        self.difficulty() * self.volume()
+    }
+}
+
+/// Computes Halstead metrics over a source snippet (typically one
+/// function body or one file, already comment-stripped or not — comments
+/// are ignored by the lexer anyway once preprocessed; for raw text the
+/// numbers are approximate, which is how Halstead is used in practice).
+pub fn halstead(text: &str) -> Halstead {
+    let toks = lex(FileId(0), text);
+    let mut distinct_ops: HashSet<String> = HashSet::new();
+    let mut distinct_operands: HashSet<String> = HashSet::new();
+    let mut total_ops = 0usize;
+    let mut total_operands = 0usize;
+    for t in &toks {
+        let lexeme = &text[t.span.start as usize..t.span.end as usize];
+        match t.kind {
+            TokenKind::Punct(_) | TokenKind::Keyword(_) => {
+                total_ops += 1;
+                distinct_ops.insert(lexeme.to_string());
+            }
+            TokenKind::Ident
+            | TokenKind::IntLit
+            | TokenKind::FloatLit
+            | TokenKind::StrLit
+            | TokenKind::CharLit => {
+                total_operands += 1;
+                distinct_operands.insert(lexeme.to_string());
+            }
+            TokenKind::Eof => {}
+        }
+    }
+    Halstead {
+        distinct_operators: distinct_ops.len(),
+        distinct_operands: distinct_operands.len(),
+        total_operators: total_ops,
+        total_operands: total_operands,
+    }
+}
+
+/// Maintainability Index (the classic SEI formula, 0–171 clamped to
+/// 0–100): combines Halstead volume, cyclomatic complexity, and size.
+/// Values below ~20 flag hard-to-maintain units — a complementary signal
+/// to the paper's Figure 3 complexity histogram.
+pub fn maintainability_index(volume: f64, cyclomatic: u32, nloc: usize) -> f64 {
+    let v = volume.max(1.0);
+    let loc = (nloc.max(1)) as f64;
+    let raw = 171.0 - 5.2 * v.ln() - 0.23 * f64::from(cyclomatic) - 16.2 * loc.ln();
+    (raw * 100.0 / 171.0).clamp(0.0, 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        let h = halstead("");
+        assert_eq!(h.length(), 0);
+        assert_eq!(h.volume(), 0.0);
+        assert_eq!(h.difficulty(), 0.0);
+    }
+
+    #[test]
+    fn simple_expression() {
+        // `a = b + c ;` → operators {=, +, ;} operands {a, b, c}
+        let h = halstead("a = b + c;");
+        assert_eq!(h.distinct_operators, 3);
+        assert_eq!(h.distinct_operands, 3);
+        assert_eq!(h.total_operators, 3);
+        assert_eq!(h.total_operands, 3);
+        assert!(h.volume() > 0.0);
+    }
+
+    #[test]
+    fn repeated_operands_counted() {
+        let h = halstead("x = x + x;");
+        assert_eq!(h.distinct_operands, 1);
+        assert_eq!(h.total_operands, 3);
+        assert!(h.difficulty() > 1.0);
+    }
+
+    #[test]
+    fn volume_grows_with_code() {
+        let small = halstead("int a = 1;");
+        let big = halstead("int a = 1; int b = 2; int c = a + b * 3; if (c > 0) { c -= a; }");
+        assert!(big.volume() > small.volume());
+        assert!(big.effort() > small.effort());
+    }
+
+    #[test]
+    fn maintainability_index_ordering() {
+        // Trivial unit scores high; a big complex unit scores lower.
+        let tiny = maintainability_index(10.0, 1, 3);
+        let gnarly = maintainability_index(8000.0, 45, 400);
+        assert!(tiny > 70.0, "tiny = {tiny}");
+        assert!(gnarly < tiny, "gnarly = {gnarly}");
+        assert!((0.0..=100.0).contains(&gnarly));
+    }
+
+    #[test]
+    fn maintainability_index_is_clamped_and_total() {
+        assert_eq!(maintainability_index(0.0, 0, 0).is_nan(), false);
+        assert!(maintainability_index(1e12, 1000, 1_000_000) >= 0.0);
+        assert!(maintainability_index(1.0, 1, 1) <= 100.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Device models: the hardware half of the roofline estimate.
+
+/// A compute device characterised for roofline modeling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceModel {
+    /// Display name.
+    pub name: &'static str,
+    /// Peak single-precision throughput in GFLOP/s.
+    pub peak_gflops: f64,
+    /// Sustained memory bandwidth in GB/s.
+    pub mem_bw_gbs: f64,
+    /// Fixed per-call overhead in microseconds (kernel launch / dispatch).
+    pub overhead_us: f64,
+}
+
+impl DeviceModel {
+    /// A Volta-class discrete GPU, the kind of hardware the paper's
+    /// NVIDIA testbed used.
+    pub const fn datacenter_gpu() -> Self {
+        DeviceModel {
+            name: "datacenter GPU (Volta-class)",
+            peak_gflops: 14_000.0,
+            mem_bw_gbs: 900.0,
+            overhead_us: 8.0,
+        }
+    }
+
+    /// A desktop-class CPU with a good vector unit: the ATLAS/OpenBLAS
+    /// target. Roughly two orders of magnitude below the GPU on
+    /// compute-bound DNN kernels, matching the paper's Figure 7 note.
+    pub const fn desktop_cpu() -> Self {
+        DeviceModel {
+            name: "desktop CPU (AVX2-class)",
+            peak_gflops: 150.0,
+            mem_bw_gbs: 40.0,
+            overhead_us: 0.5,
+        }
+    }
+
+    /// Roofline execution-time estimate in seconds for a kernel with the
+    /// given work, at the given fraction of peak (`efficiency` ∈ (0,1]).
+    pub fn time_s(&self, flops: u64, bytes: u64, efficiency: f64) -> f64 {
+        let eff = efficiency.clamp(1e-3, 1.0);
+        let compute = flops as f64 / (self.peak_gflops * 1e9 * eff);
+        let memory = bytes as f64 / (self.mem_bw_gbs * 1e9);
+        compute.max(memory) + self.overhead_us * 1e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_vs_cpu_peak_ratio_is_about_100x() {
+        let gpu = DeviceModel::datacenter_gpu();
+        let cpu = DeviceModel::desktop_cpu();
+        let ratio = gpu.peak_gflops / cpu.peak_gflops;
+        assert!((50.0..200.0).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn roofline_compute_bound() {
+        let gpu = DeviceModel::datacenter_gpu();
+        // Huge flops, tiny bytes → compute-bound.
+        let t = gpu.time_s(10_u64.pow(12), 1_000, 1.0);
+        let expected = 1e12 / (14_000.0 * 1e9) + 8e-6;
+        assert!((t - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn roofline_memory_bound() {
+        let gpu = DeviceModel::datacenter_gpu();
+        // Tiny flops, huge bytes → memory-bound.
+        let t = gpu.time_s(1_000, 9 * 10_u64.pow(11), 1.0);
+        let expected = 9e11 / (900.0 * 1e9) + 8e-6;
+        assert!((t - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn lower_efficiency_is_slower() {
+        let gpu = DeviceModel::datacenter_gpu();
+        let fast = gpu.time_s(10_u64.pow(12), 0, 1.0);
+        let slow = gpu.time_s(10_u64.pow(12), 0, 0.5);
+        assert!(slow > fast * 1.9);
+    }
+
+    #[test]
+    fn efficiency_is_clamped() {
+        let gpu = DeviceModel::datacenter_gpu();
+        let t1 = gpu.time_s(1_000_000, 0, 5.0); // clamped to 1.0
+        let t2 = gpu.time_s(1_000_000, 0, 1.0);
+        assert_eq!(t1, t2);
+    }
+}

@@ -1,0 +1,35 @@
+//! # adsafe-perfmodel — GPU/CPU library performance models
+//!
+//! Roofline-style analytic models of the closed-source (cuBLAS, cuDNN,
+//! TensorRT) and open-source (CUTLASS, ISAAC, ATLAS, OpenBLAS) libraries
+//! the paper compares in Figures 7 and 8. The authors ran these on an
+//! NVIDIA testbed; this crate substitutes calibrated models that
+//! reproduce the published *relative* behaviour — who wins, by what
+//! factor, and where the crossovers fall — deterministically on any
+//! machine. The real-kernel counterpart lives in `adsafe-gpu`, whose
+//! Criterion benches measure the same naive/tiled/autotuned contrasts.
+//!
+//! ```
+//! use adsafe_perfmodel::{GemmShape, Library};
+//!
+//! let shape = GemmShape::square(1024);
+//! let rel = Library::CuBlas.gemm_time_s(&shape) / Library::Cutlass.gemm_time_s(&shape);
+//! assert!(rel > 0.75 && rel < 1.2); // Figure 8a: comparable performance
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod crossover;
+pub mod device;
+pub mod figures;
+pub mod library;
+pub mod workloads;
+
+pub use crossover::{gemm_crossover_sweep, gpu_break_even, CrossoverPoint};
+pub use device::DeviceModel;
+pub use figures::{
+    fig7_detection_times, fig8a_cutlass_vs_cublas, fig8b_isaac_vs_cudnn, summarize, Point,
+    SeriesSummary,
+};
+pub use library::{GemmShape, Library};
+pub use workloads::{conv_suites, gemm_dnn_shapes, gemm_sweep, yolo_layers, ConvWorkload};

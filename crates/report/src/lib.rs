@@ -1,0 +1,22 @@
+//! # adsafe-report — tables, figures, and the experiment registry
+//!
+//! Rendering for everything the paper prints: aligned ASCII tables,
+//! Markdown, CSV, and labelled figure series with ASCII bar charts.
+//!
+//! ```
+//! use adsafe_report::Table;
+//!
+//! let mut t = Table::new("Coverage", &["file", "stmt %"]);
+//! t.row(&["gemm.c", "91.0"]);
+//! assert!(t.to_ascii().contains("gemm.c"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod figure;
+pub mod table;
+
+pub use experiment::{Experiment, EXPERIMENTS};
+pub use figure::Figure;
+pub use table::Table;

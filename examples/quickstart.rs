@@ -1,0 +1,52 @@
+//! Quickstart: assess a small C++ snippet against ISO 26262 Part 6.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use adsafe::iso26262::TableId;
+use adsafe::{render, Assessment};
+
+const SNIPPET: &str = r#"
+int g_retry_count;
+
+int read_sensor(int* raw, int n) {
+    int total = 0;
+    for (int i = 0; i < n; i++) {
+        if (raw[i] < 0) goto fail;
+        total += raw[i];
+    }
+    return total / n;
+fail:
+    g_retry_count = g_retry_count + 1;
+    return -1;
+}
+
+float scale_reading(int reading) {
+    return (float)reading * 0.01f;
+}
+"#;
+
+fn main() {
+    let mut assessment = Assessment::new();
+    assessment.add_file("sensors", "sensors/reader.cc", SNIPPET);
+    let report = assessment.run();
+
+    println!("== Diagnostics ==");
+    for d in &report.diagnostics {
+        println!("  {} [{}] {}", d.severity, d.check_id, d.message);
+    }
+
+    println!();
+    println!("{}", render::table3(&report).to_ascii());
+
+    println!("== Observations that hold for this snippet ==");
+    print!("{}", render::observations_text(&report));
+
+    let unit = report.compliance.table(TableId::UnitDesign);
+    let blocking = unit.iter().filter(|v| v.is_blocking()).count();
+    println!();
+    println!(
+        "{} of {} unit-design topics block ASIL-D certification for this snippet.",
+        blocking,
+        unit.len()
+    );
+}

@@ -1,0 +1,293 @@
+//! Property-based tests over the core invariants of the toolchain.
+
+use adsafe::coverage::{Interp, Limits, Program, Value};
+use adsafe::gpu::kernels;
+use adsafe::lang::{lexer::lex, parse_source, FileId};
+use adsafe::metrics::cyclomatic_complexity;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The lexer is total: never panics, always terminates with Eof,
+    /// and spans are in-bounds and non-overlapping.
+    #[test]
+    fn lexer_total_and_spans_sane(src in "[ -~\n\t]{0,200}") {
+        let toks = lex(FileId(0), &src);
+        prop_assert!(!toks.is_empty());
+        prop_assert_eq!(toks.last().unwrap().kind, adsafe::lang::token::TokenKind::Eof);
+        let mut prev_end = 0u32;
+        for t in &toks {
+            prop_assert!(t.span.start >= prev_end, "overlapping tokens");
+            prop_assert!(t.span.end as usize <= src.len());
+            prev_end = t.span.start;
+        }
+    }
+
+    /// The parser is total on arbitrary input (error tolerance).
+    #[test]
+    fn parser_never_panics(src in "[ -~\n]{0,300}") {
+        let _ = parse_source(FileId(0), &src);
+    }
+
+    /// The parser is total on brace/paren/keyword soup, which stresses
+    /// the recovery machinery harder than uniform ASCII.
+    #[test]
+    fn parser_never_panics_on_syntax_soup(
+        toks in proptest::collection::vec(
+            prop_oneof![
+                Just("{"), Just("}"), Just("("), Just(")"), Just(";"),
+                Just("if"), Just("for"), Just("int"), Just("x"), Just("="),
+                Just("1"), Just("<<<"), Just(">>>"), Just("goto"), Just("::"),
+                Just("case"), Just("switch"), Just("template"), Just("<"), Just(">"),
+            ],
+            0..60,
+        )
+    ) {
+        let src = toks.join(" ");
+        let _ = parse_source(FileId(0), &src);
+    }
+
+    /// Adding an `if` around a parsed function body strictly increases
+    /// cyclomatic complexity by exactly one.
+    #[test]
+    fn cc_increases_by_one_per_decision(n in 0usize..12) {
+        let mut body = String::from("int acc = 0;\n");
+        for i in 0..n {
+            body.push_str(&format!("if (x > {i}) {{ acc += {i}; }}\n"));
+        }
+        body.push_str("return acc;\n");
+        let src = format!("int f(int x) {{\n{body}}}\n");
+        let parsed = parse_source(FileId(0), &src);
+        let cc = cyclomatic_complexity(parsed.unit.functions()[0]);
+        prop_assert_eq!(cc, n as u32 + 1);
+    }
+
+    /// Tiled GEMM equals naive GEMM for arbitrary small shapes and tiles.
+    #[test]
+    fn gemm_tiled_matches_naive(
+        m in 1usize..12,
+        n in 1usize..12,
+        k in 1usize..12,
+        tile in 1usize..16,
+        seed in 0u64..1000,
+    ) {
+        let gen = |len: usize, salt: u64| -> Vec<f32> {
+            (0..len)
+                .map(|i| (((i as u64).wrapping_mul(seed + salt + 1) % 17) as f32) - 8.0)
+                .collect()
+        };
+        let a = gen(m * k, 1);
+        let b = gen(k * n, 2);
+        let mut c1 = vec![0.0f32; m * n];
+        let mut c2 = vec![0.0f32; m * n];
+        kernels::gemm_naive(m, n, k, &a, &b, &mut c1);
+        kernels::gemm_tiled(m, n, k, &a, &b, &mut c2, tile);
+        for (x, y) in c1.iter().zip(&c2) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// im2col+GEMM convolution equals direct convolution for arbitrary
+    /// valid shapes.
+    #[test]
+    fn conv_lowering_is_exact(
+        in_c in 1usize..4,
+        hw in 3usize..8,
+        out_c in 1usize..4,
+        ksize in 1usize..4,
+        pad in 0usize..2,
+    ) {
+        prop_assume!(hw + 2 * pad >= ksize);
+        let shape = kernels::ConvShape {
+            batch: 1, in_c, in_h: hw, in_w: hw, out_c, ksize, stride: 1, pad,
+        };
+        let input: Vec<f32> = (0..shape.input_len()).map(|i| ((i % 11) as f32) - 5.0).collect();
+        let weights: Vec<f32> = (0..shape.weight_len()).map(|i| ((i % 7) as f32) - 3.0).collect();
+        let mut direct = vec![0.0f32; shape.output_len()];
+        let mut lowered = vec![0.0f32; shape.output_len()];
+        kernels::conv2d_direct(&shape, &input, &weights, &mut direct);
+        kernels::conv2d_im2col(&shape, &input, &weights, &mut lowered, 8);
+        for (x, y) in direct.iter().zip(&lowered) {
+            prop_assert!((x - y).abs() < 1e-2);
+        }
+    }
+
+    /// Interpreter coverage counts never exceed the static probe counts,
+    /// and hit statements are a subset of enumerated statements.
+    #[test]
+    fn coverage_bounded_by_probes(x in -100i64..100, y in -100i64..100) {
+        let src = "int f(int a, int b) {\n\
+            int r = 0;\n\
+            if (a > 0 && b > 0) { r = a + b; }\n\
+            for (int i = 0; i < a; i++) { r += i; }\n\
+            switch (b % 3) { case 0: r += 1; break; case 1: r += 2; break; default: r += 3; }\n\
+            return r;\n}";
+        let parsed = parse_source(FileId(0), src);
+        let probes = adsafe::coverage::enumerate_probes(parsed.unit.functions()[0]);
+        let prog = Program::from_units(&[&parsed.unit]);
+        let mut it = Interp::new(&prog)
+            .with_limits(Limits { max_steps: 2_000_000, max_depth: 16 });
+        let _ = it.call("f", vec![Value::Int(x), Value::Int(y)]);
+        let cov = adsafe::coverage::function_coverage(&probes, &it.log);
+        prop_assert!(cov.stmts_hit <= cov.stmts_total);
+        prop_assert!(cov.branches_hit <= cov.branches_total);
+        prop_assert!(cov.conditions_covered <= cov.conditions_total);
+        for span in it.log.stmt_hits.keys() {
+            prop_assert!(probes.statements.contains(span));
+        }
+    }
+
+    /// The interpreter agrees with native Rust on integer arithmetic
+    /// expressions.
+    #[test]
+    fn interpreter_arithmetic_agrees(a in -1000i64..1000, b in 1i64..100) {
+        let src = "int f(int a, int b) { return (a * 3 + b) % (b + 7) - a / b; }";
+        let parsed = parse_source(FileId(0), src);
+        let prog = Program::from_units(&[&parsed.unit]);
+        let mut it = Interp::new(&prog);
+        let got = it.call("f", vec![Value::Int(a), Value::Int(b)]).unwrap().as_i64();
+        let expected = (a * 3 + b) % (b + 7) - a / b;
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Generated corpus functions always reparse with the planned CC.
+    #[test]
+    fn generator_cc_roundtrip(decisions in 0u32..40, seed in 0u64..500) {
+        use adsafe::corpus::generator::{gen_function, rng_for, FunctionPlan};
+        let mut w = adsafe::corpus::writer::CodeWriter::new();
+        let plan = FunctionPlan::basic("RoundTrip", decisions);
+        gen_function(&mut w, &plan, &mut rng_for(seed, "prop"));
+        let src = w.finish();
+        let parsed = parse_source(FileId(0), &src);
+        prop_assert_eq!(parsed.unit.recovery_count, 0);
+        let cc = cyclomatic_complexity(parsed.unit.functions()[0]);
+        prop_assert_eq!(cc, decisions + 1);
+    }
+
+    /// MC/DC coverage never exceeds branch coverage on the same decision
+    /// set (a well-known dominance relation).
+    #[test]
+    fn mcdc_dominated_by_branch(inputs in proptest::collection::vec((-10i64..10, -10i64..10), 1..8)) {
+        let src = "int f(int a, int b) { if (a > 0 && b < 3) { return 1; } return 0; }";
+        let parsed = parse_source(FileId(0), src);
+        let probes = adsafe::coverage::enumerate_probes(parsed.unit.functions()[0]);
+        let prog = Program::from_units(&[&parsed.unit]);
+        let mut it = Interp::new(&prog);
+        for (a, b) in inputs {
+            let _ = it.call("f", vec![Value::Int(a), Value::Int(b)]);
+        }
+        let cov = adsafe::coverage::function_coverage(&probes, &it.log);
+        prop_assert!(cov.mcdc_pct() <= cov.branch_pct() + 1e-9);
+    }
+}
+
+#[test]
+fn proptest_regressions_placeholder() {
+    // Anchor so `cargo test properties` always has at least one plain test.
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Brook streams: map preserves shape; map(f) ∘ map(g) == map(f ∘ g);
+    /// reduce over (+) equals the slice sum.
+    #[test]
+    fn brook_stream_algebra(data in proptest::collection::vec(-100.0f32..100.0, 1..64)) {
+        use adsafe::gpu::brook::{map, reduce, Stream};
+        let s = Stream::from_slice(&data);
+        let f = |v: f32| v * 2.0;
+        let g = |v: f32| v + 1.0;
+        let composed = map(&map(&s, g), f);
+        let fused = map(&s, |v| f(g(v)));
+        prop_assert_eq!(composed.to_vec(), fused.to_vec());
+        prop_assert_eq!(composed.len(), data.len());
+        let total = reduce(&s, 0.0, |a, v| a + v);
+        let expected: f32 = data.iter().sum();
+        prop_assert!((total - expected).abs() < 1e-3 * (1.0 + expected.abs()));
+    }
+
+    /// Brook stencil equals the raw kernel for arbitrary small grids.
+    #[test]
+    fn brook_stencil_equals_kernel(h in 2usize..8, w in 2usize..8, seed in 0u64..100) {
+        use adsafe::gpu::brook::{stencil2d_brook, Stream};
+        let data: Vec<f32> = (0..h * w)
+            .map(|i| (((i as u64 + seed) * 7) % 11) as f32 - 5.0)
+            .collect();
+        let mut expected = vec![0.0f32; h * w];
+        adsafe::gpu::kernels::stencil2d(h, w, &data, &mut expected, 0.5, 0.125);
+        let out = stencil2d_brook(&Stream::from_slice(&data).reshape(h, w), 0.5, 0.125);
+        for (a, b) in out.to_vec().iter().zip(&expected) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    /// Gap counts plus covered counts always equal the probe totals.
+    #[test]
+    fn gaps_complement_coverage(x in -50i64..50) {
+        use adsafe::coverage::{enumerate_probes, function_coverage, function_gaps, summarize_gaps};
+        let src = "int f(int a) { if (a > 0 && a < 10) { return 1; } \
+                   switch (a) { case 1: return 2; default: return 0; } }";
+        let parsed = parse_source(FileId(0), src);
+        let probes = enumerate_probes(parsed.unit.functions()[0]);
+        let prog = Program::from_units(&[&parsed.unit]);
+        let mut it = Interp::new(&prog);
+        let _ = it.call("f", vec![Value::Int(x)]);
+        let cov = function_coverage(&probes, &it.log);
+        let gaps = summarize_gaps(&function_gaps(&probes, &it.log));
+        prop_assert_eq!(cov.stmts_hit + gaps.statements, cov.stmts_total);
+        prop_assert_eq!(
+            cov.conditions_covered + gaps.conditions,
+            cov.conditions_total
+        );
+        // Branch gaps cover both decision edges and case labels.
+        prop_assert_eq!(
+            cov.branches_hit + gaps.branches + gaps.cases,
+            cov.branches_total
+        );
+    }
+
+    /// Strict MC/DC never credits more conditions than masking MC/DC,
+    /// for arbitrary inputs driving the same decision.
+    #[test]
+    fn strict_mcdc_subset_of_masking(inputs in proptest::collection::vec((-5i64..5, -5i64..5), 1..10)) {
+        use adsafe::coverage::mcdc::{covered_conditions, covered_conditions_strict};
+        let src = "int f(int a, int b) { if (a > 0 || b > 2) { return 1; } return 0; }";
+        let parsed = parse_source(FileId(0), src);
+        let prog = Program::from_units(&[&parsed.unit]);
+        let mut it = Interp::new(&prog);
+        for (a, b) in inputs {
+            let _ = it.call("f", vec![Value::Int(a), Value::Int(b)]);
+        }
+        for records in it.log.decision_records.values() {
+            let n = records.iter().map(|r| r.conditions.len()).max().unwrap_or(0);
+            prop_assert!(covered_conditions_strict(records, n) <= covered_conditions(records, n));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Parse → print → parse preserves every metric the analyses use,
+    /// on arbitrary generated corpus functions.
+    #[test]
+    fn printer_roundtrip_preserves_metrics(decisions in 0u32..30, seed in 0u64..200) {
+        use adsafe::corpus::generator::{gen_function, rng_for, FunctionPlan};
+        use adsafe::lang::printer::print_unit;
+        let mut w = adsafe::corpus::writer::CodeWriter::new();
+        let mut plan = FunctionPlan::basic("Rt", decisions);
+        plan.multi_exit = decisions >= 2 && seed % 2 == 0;
+        plan.casts = (seed % 3) as u32;
+        plan.has_goto = decisions >= 2 && seed % 5 == 0;
+        gen_function(&mut w, &plan, &mut rng_for(seed, "rt"));
+        let src = w.finish();
+        let first = parse_source(FileId(0), &src).unit;
+        let printed = print_unit(&first);
+        let second = parse_source(FileId(0), &printed).unit;
+        prop_assert_eq!(second.recovery_count, 0, "printed output must parse: {}", printed);
+        let m1 = cyclomatic_complexity(first.functions()[0]);
+        let m2 = cyclomatic_complexity(second.functions()[0]);
+        prop_assert_eq!(m1, m2, "CC changed across print: {}", printed);
+    }
+}
