@@ -87,6 +87,17 @@ impl AnalysisSet {
         self.parsed.push((id, module.to_string(), parsed));
     }
 
+    /// Adds a file whose parse the caller performed itself (for example
+    /// under panic containment). `id` must come from `self.sm.add_file`.
+    pub fn add_parsed(
+        &mut self,
+        module: &str,
+        id: adsafe_lang::FileId,
+        parsed: adsafe_lang::ParsedFile,
+    ) {
+        self.parsed.push((id, module.to_string(), parsed));
+    }
+
     /// Builds the check context over everything added so far.
     pub fn context(&self) -> CheckContext<'_> {
         let entries = self

@@ -110,6 +110,58 @@ pub fn run_checks(checks: &[Box<dyn Check>], cx: &CheckContext<'_>) -> Vec<Diagn
     out
 }
 
+/// A rule that panicked instead of returning diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckFailure {
+    /// The failing rule's id.
+    pub check_id: &'static str,
+    /// The panic message.
+    pub message: String,
+}
+
+/// Runs one check with panic containment: a rule that panics yields
+/// `Err` with its panic message instead of unwinding into the caller.
+pub fn run_one_check(
+    check: &dyn Check,
+    cx: &CheckContext<'_>,
+) -> Result<Vec<Diagnostic>, CheckFailure> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check.run(cx))).map_err(
+        |payload| CheckFailure {
+            check_id: check.id(),
+            message: payload_message(&*payload),
+        },
+    )
+}
+
+/// Runs every check with per-rule panic isolation: one buggy rule is
+/// reported as a [`CheckFailure`] and skipped; every other rule's
+/// diagnostics survive, ordered as in [`run_checks`].
+pub fn run_checks_isolated(
+    checks: &[Box<dyn Check>],
+    cx: &CheckContext<'_>,
+) -> (Vec<Diagnostic>, Vec<CheckFailure>) {
+    let mut out = Vec::new();
+    let mut failures = Vec::new();
+    for c in checks {
+        match run_one_check(c.as_ref(), cx) {
+            Ok(diags) => out.extend(diags),
+            Err(failure) => failures.push(failure),
+        }
+    }
+    out.sort_by_key(|d| (d.check_id, d.span.file, d.span.start));
+    (out, failures)
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,5 +205,41 @@ mod tests {
         let mut sorted = diags.clone();
         sorted.sort_by_key(|d| (d.check_id, d.span.file, d.span.start));
         assert_eq!(diags, sorted);
+    }
+
+    struct PanickingCheck;
+
+    impl Check for PanickingCheck {
+        fn id(&self) -> &'static str {
+            "test-panicking-rule"
+        }
+        fn description(&self) -> &'static str {
+            "always panics"
+        }
+        fn iso_refs(&self) -> &'static [&'static str] {
+            &["Part6.Table1.Row1"]
+        }
+        fn run(&self, _cx: &CheckContext<'_>) -> Vec<Diagnostic> {
+            panic!("rule bug: index out of range")
+        }
+    }
+
+    #[test]
+    fn isolated_run_contains_a_panicking_rule() {
+        let mut set = AnalysisSet::new();
+        set.add("m", "t.cc", "int g;\nint f() { goto x; x: return 1; }\n");
+        let cx = set.context();
+        let mut checks = default_checks();
+        let clean = run_checks(&checks, &cx);
+        checks.insert(0, Box::new(PanickingCheck));
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let (diags, failures) = run_checks_isolated(&checks, &cx);
+        std::panic::set_hook(prev);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].check_id, "test-panicking-rule");
+        assert!(failures[0].message.contains("index out of range"));
+        // Every healthy rule's diagnostics survive, in the same order.
+        assert_eq!(diags, clean);
     }
 }

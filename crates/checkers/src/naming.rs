@@ -82,8 +82,8 @@ impl Check for TypeNamingCheck {
         fn scan(decls: &[Decl], id: &'static str, out: &mut Vec<Diagnostic>) {
             for d in decls {
                 match d {
-                    Decl::Record(r) if !r.name.is_empty() => {
-                        if classify(&r.name) != NameCase::UpperCamel {
+                    Decl::Record(r) if !r.name.is_empty()
+                        && classify(&r.name) != NameCase::UpperCamel => {
                             out.push(Diagnostic::new(
                                 id,
                                 Severity::Warning,
@@ -91,9 +91,8 @@ impl Check for TypeNamingCheck {
                                 format!("type `{}` is not UpperCamelCase", r.name),
                             ));
                         }
-                    }
-                    Decl::Enum(e) if !e.name.is_empty() => {
-                        if classify(&e.name) != NameCase::UpperCamel {
+                    Decl::Enum(e) if !e.name.is_empty()
+                        && classify(&e.name) != NameCase::UpperCamel => {
                             out.push(Diagnostic::new(
                                 id,
                                 Severity::Warning,
@@ -101,10 +100,9 @@ impl Check for TypeNamingCheck {
                                 format!("enum `{}` is not UpperCamelCase", e.name),
                             ));
                         }
-                    }
-                    Decl::Typedef(t) if !t.name.is_empty() => {
+                    Decl::Typedef(t) if !t.name.is_empty()
                         // C-style `*_t` typedefs are conventional and allowed.
-                        if classify(&t.name) != NameCase::UpperCamel && !t.name.ends_with("_t") {
+                        && classify(&t.name) != NameCase::UpperCamel && !t.name.ends_with("_t") => {
                             out.push(Diagnostic::new(
                                 id,
                                 Severity::Info,
@@ -112,7 +110,6 @@ impl Check for TypeNamingCheck {
                                 format!("alias `{}` is not UpperCamelCase", t.name),
                             ));
                         }
-                    }
                     Decl::Namespace(ns) => scan(&ns.decls, id, out),
                     _ => {}
                 }

@@ -9,12 +9,30 @@
 //!
 //! Files are grouped into modules by their top-level directory, mirroring
 //! how the paper treats Apollo's module tree.
+//!
+//! Exit codes (documented in README.md; scripts rely on them):
+//!
+//! | code | meaning |
+//! |-----:|---------|
+//! | 0 | assessment ran clean, no blocking topics |
+//! | 1 | assessment ran clean, blocking topics (or `check` findings) |
+//! | 2 | usage error (bad arguments) |
+//! | 3 | I/O error (unreadable inputs, unwritable report) |
+//! | 4 | degraded assessment, no blocking topics |
+//! | 5 | degraded assessment with blocking topics |
 
 use adsafe::iso26262::Asil;
 use adsafe::{render, Assessment, AssessmentOptions};
 use std::path::{Path, PathBuf};
 
 const SOURCE_EXTENSIONS: [&str; 8] = ["c", "cc", "cpp", "cxx", "cu", "h", "hpp", "cuh"];
+
+const EXIT_OK: i32 = 0;
+const EXIT_BLOCKING: i32 = 1;
+const EXIT_USAGE: i32 = 2;
+const EXIT_IO: i32 = 3;
+const EXIT_DEGRADED: i32 = 4;
+const EXIT_DEGRADED_BLOCKING: i32 = 5;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,7 +45,7 @@ fn main() {
                 "usage:\n  adsafe assess <dir> [--asil A|B|C|D] [--report out.md] [--diagnostics]\n  \
                  adsafe check <file> [<file>...]\n  adsafe tables"
             );
-            2
+            EXIT_USAGE
         }
     };
     std::process::exit(code);
@@ -71,15 +89,54 @@ fn parse_asil(s: &str) -> Option<Asil> {
     }
 }
 
+/// Folds the report's outcome into the exit-code contract.
+fn exit_code_for(report: &adsafe::AssessmentReport) -> i32 {
+    let blocking = report.compliance.blocking_count() > 0;
+    match (report.degraded, blocking) {
+        (false, false) => EXIT_OK,
+        (false, true) => EXIT_BLOCKING,
+        (true, false) => EXIT_DEGRADED,
+        (true, true) => EXIT_DEGRADED_BLOCKING,
+    }
+}
+
+/// Prints the one-line fault summary (count per phase, worst severity)
+/// that scripts grep for, plus the detailed fault list.
+fn print_fault_summary(report: &adsafe::AssessmentReport) {
+    if report.faults.is_empty() {
+        return;
+    }
+    let per_phase: Vec<String> = report
+        .faults
+        .counts_by_phase()
+        .into_iter()
+        .map(|(phase, n)| format!("{} {}", phase.name(), n))
+        .collect();
+    let worst = report
+        .faults
+        .worst()
+        .map(|s| s.name())
+        .unwrap_or("none");
+    println!(
+        "DEGRADED: {} fault(s) contained ({}); worst severity: {}",
+        report.faults.len(),
+        per_phase.join(", "),
+        worst
+    );
+    for f in &report.faults {
+        println!("  {f}");
+    }
+}
+
 fn cmd_assess(args: &[String]) -> i32 {
     let Some(dir) = args.first() else {
         eprintln!("assess: missing <dir>");
-        return 2;
+        return EXIT_USAGE;
     };
     let root = PathBuf::from(dir);
     if !root.is_dir() {
         eprintln!("assess: `{dir}` is not a directory");
-        return 2;
+        return EXIT_USAGE;
     }
     let mut asil = Asil::D;
     let mut report_path: Option<String> = None;
@@ -93,7 +150,7 @@ fn cmd_assess(args: &[String]) -> i32 {
                     Some(a) => asil = a,
                     None => {
                         eprintln!("assess: --asil needs A|B|C|D|QM");
-                        return 2;
+                        return EXIT_USAGE;
                     }
                 }
             }
@@ -102,13 +159,13 @@ fn cmd_assess(args: &[String]) -> i32 {
                 report_path = args.get(i).cloned();
                 if report_path.is_none() {
                     eprintln!("assess: --report needs a path");
-                    return 2;
+                    return EXIT_USAGE;
                 }
             }
             "--diagnostics" => show_diagnostics = true,
             other => {
                 eprintln!("assess: unknown option `{other}`");
-                return 2;
+                return EXIT_USAGE;
             }
         }
         i += 1;
@@ -118,18 +175,31 @@ fn cmd_assess(args: &[String]) -> i32 {
     collect_sources(&root, &mut files);
     if files.is_empty() {
         eprintln!("assess: no C/C++/CUDA sources under `{dir}`");
-        return 1;
+        return EXIT_IO;
     }
     eprintln!("assessing {} files under {dir} at {asil} ...", files.len());
 
     let mut assessment = Assessment::new()
         .with_options(AssessmentOptions { asil, ..AssessmentOptions::default() });
+    let mut readable = 0usize;
     for f in &files {
-        let Ok(text) = std::fs::read_to_string(f) else {
-            eprintln!("  skipping unreadable {}", f.display());
-            continue;
-        };
-        assessment.add_file(&module_of(&root, f), &f.display().to_string(), &text);
+        // Raw bytes: non-UTF-8 content is the pipeline's problem (it
+        // records an ingest fault and degrades), not a reason to skip.
+        match std::fs::read(f) {
+            Ok(bytes) => {
+                assessment.add_file_bytes(
+                    &module_of(&root, f),
+                    &f.display().to_string(),
+                    &bytes,
+                );
+                readable += 1;
+            }
+            Err(e) => eprintln!("  skipping unreadable {}: {e}", f.display()),
+        }
+    }
+    if readable == 0 {
+        eprintln!("assess: none of the {} sources could be read", files.len());
+        return EXIT_IO;
     }
     let report = assessment.run();
 
@@ -151,37 +221,51 @@ fn cmd_assess(args: &[String]) -> i32 {
         report.compliance.asil,
         report.compliance.compliance_ratio() * 100.0
     );
+    print_fault_summary(&report);
     if let Some(path) = report_path {
         match std::fs::write(&path, render::full_report_markdown(&report)) {
             Ok(()) => eprintln!("report written to {path}"),
             Err(e) => {
                 eprintln!("cannot write {path}: {e}");
-                return 1;
+                return EXIT_IO;
             }
         }
     }
-    i32::from(report.compliance.blocking_count() > 0)
+    exit_code_for(&report)
 }
 
 fn cmd_check(args: &[String]) -> i32 {
     if args.is_empty() {
         eprintln!("check: missing <file>");
-        return 2;
+        return EXIT_USAGE;
     }
     let mut assessment = Assessment::new();
     for f in args {
-        let Ok(text) = std::fs::read_to_string(f) else {
-            eprintln!("check: cannot read {f}");
-            return 2;
-        };
-        assessment.add_file("input", f, &text);
+        match std::fs::read(f) {
+            Ok(bytes) => {
+                assessment.add_file_bytes("input", f, &bytes);
+            }
+            Err(e) => {
+                eprintln!("check: cannot read {f}: {e}");
+                return EXIT_IO;
+            }
+        }
     }
     let report = assessment.run();
     for d in &report.diagnostics {
         println!("{} [{}] {}", d.severity, d.check_id, d.message);
     }
     println!("{} findings", report.diagnostics.len());
-    i32::from(!report.diagnostics.is_empty())
+    print_fault_summary(&report);
+    if report.degraded {
+        if report.diagnostics.is_empty() {
+            EXIT_DEGRADED
+        } else {
+            EXIT_DEGRADED_BLOCKING
+        }
+    } else {
+        i32::from(!report.diagnostics.is_empty())
+    }
 }
 
 fn cmd_tables() -> i32 {
@@ -205,5 +289,5 @@ fn cmd_tables() -> i32 {
         }
         println!();
     }
-    0
+    EXIT_OK
 }

@@ -104,7 +104,7 @@ pub fn fig6_stencil_coverage() -> Figure {
                     .functions
                     .iter()
                     .find(|fc| fc.name == *k)
-                    .map(|fc| metric(fc))
+                    .map(metric)
                     .unwrap_or(0.0)
             })
             .collect()

@@ -35,10 +35,12 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod fault;
 pub mod pipeline;
 pub mod render;
 
-pub use pipeline::{assess_corpus, Assessment, AssessmentOptions, AssessmentReport};
+pub use fault::{Fault, FaultCause, FaultLog, FaultPhase, FaultSeverity, Recovery};
+pub use pipeline::{assess_corpus, Assessment, AssessmentOptions, AssessmentReport, Budgets};
 
 /// Re-export: language front-end.
 pub use adsafe_lang as lang;

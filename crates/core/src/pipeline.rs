@@ -3,16 +3,64 @@
 //! This is the paper's methodology as an API: parse the whole code base,
 //! run metrics and checkers, assemble [`Evidence`], judge it against ISO
 //! 26262 Part 6 at a target ASIL, and synthesise the observations.
+//!
+//! The pipeline is *fault-isolated*: every file, every checker rule, and
+//! every phase runs under panic containment, and anything that goes
+//! wrong is recorded in the report's [`FaultLog`] instead of aborting
+//! the run. Files that cannot be parsed cleanly descend a three-tier
+//! degradation ladder:
+//!
+//! 1. **Full parse** — the normal path; no fault recorded.
+//! 2. **Resync parse** — the error-tolerant parser skipped opaque
+//!    regions (`recovery_count > 0`); the file's evidence is complete
+//!    but approximate, recorded as a `ParseResync` fault.
+//! 3. **Token-only metrics** — the parser panicked; NLOC and a
+//!    cyclomatic estimate are recovered from the token stream alone and
+//!    absorbed into the owning module's metrics.
+//!
+//! A report produced through any tier below 1 carries
+//! [`AssessmentReport::degraded`]` == true`.
 
+use crate::fault::{
+    failpoints, panic_message, Fault, FaultCause, FaultLog, FaultPhase, FaultSeverity, Recovery,
+};
 use adsafe_checkers::{
-    default_checks, run_checks, AnalysisSet, CheckContext, Diagnostic,
+    default_checks, run_one_check, AnalysisSet, CheckContext, Diagnostic,
 };
 use adsafe_iso26262::{
     assess, observations, Asil, ComplianceReport, Evidence, GpuEvidence, Observation,
 };
 use adsafe_lang::cuda;
-use adsafe_metrics::{module_metrics, ModuleMetrics};
+use adsafe_metrics::{
+    absorb_estimate, module_from_estimates, module_metrics, token_estimate, ModuleMetrics,
+    TokenEstimate,
+};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// Wall-clock budgets for the analysis phases.
+///
+/// A phase that overruns its deadline is cut short between items; the
+/// items not reached fall down the degradation ladder (parse, metrics)
+/// or are skipped (checks), each recorded as a fault. `None` disables
+/// the deadline — the default, since assessment is usually batch work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Budgets {
+    /// Deadline applied to each phase (parse, checks, metrics)
+    /// independently.
+    pub phase_deadline: Option<Duration>,
+}
+
+impl Budgets {
+    fn exceeded(&self, phase_start: Instant) -> bool {
+        self.phase_deadline.is_some_and(|d| phase_start.elapsed() > d)
+    }
+
+    fn budget_ms(&self) -> u64 {
+        self.phase_deadline.map_or(0, |d| d.as_millis() as u64)
+    }
+}
 
 /// Inputs the analyser cannot derive from source (supplied by the
 /// integrator, as in a real assessment).
@@ -24,11 +72,18 @@ pub struct AssessmentOptions {
     pub has_scheduling_policy: bool,
     /// Structural coverage results to fold in, if measured.
     pub coverage: Option<adsafe_iso26262::CoverageEvidence>,
+    /// Wall-clock budgets for the analysis phases.
+    pub budgets: Budgets,
 }
 
 impl Default for AssessmentOptions {
     fn default() -> Self {
-        AssessmentOptions { asil: Asil::D, has_scheduling_policy: false, coverage: None }
+        AssessmentOptions {
+            asil: Asil::D,
+            has_scheduling_policy: false,
+            coverage: None,
+            budgets: Budgets::default(),
+        }
     }
 }
 
@@ -45,6 +100,11 @@ pub struct AssessmentReport {
     pub modules: Vec<ModuleMetrics>,
     /// Every diagnostic, sorted by check then position.
     pub diagnostics: Vec<Diagnostic>,
+    /// Every fault contained during the run.
+    pub faults: FaultLog,
+    /// Whether any fault cost evidence: the report is still valid but
+    /// rests on partially estimated or incomplete measurements.
+    pub degraded: bool,
 }
 
 impl AssessmentReport {
@@ -54,10 +114,19 @@ impl AssessmentReport {
     }
 }
 
+/// One source file queued for assessment.
+#[derive(Debug, Clone)]
+struct RawFile {
+    module: String,
+    path: String,
+    text: String,
+}
+
 /// The assessment driver. Add files, then [`Assessment::run`].
 #[derive(Debug, Default)]
 pub struct Assessment {
-    set: AnalysisSet,
+    files: Vec<RawFile>,
+    ingest_faults: Vec<Fault>,
     options: AssessmentOptions,
 }
 
@@ -75,40 +144,291 @@ impl Assessment {
 
     /// Adds one source file under a module.
     pub fn add_file(&mut self, module: &str, path: &str, text: &str) -> &mut Self {
-        self.set.add(module, path, text);
+        self.files.push(RawFile {
+            module: module.to_string(),
+            path: path.to_string(),
+            text: text.to_string(),
+        });
         self
     }
 
-    /// Runs metrics, checkers, and the compliance engine.
-    pub fn run(&self) -> AssessmentReport {
-        let cx = self.set.context();
-        let checks = default_checks();
-        let mut diagnostics = run_checks(&checks, &cx);
-        // Macro naming runs from PpInfo (outside the Check trait).
-        for (_, _, parsed) in self.set.parsed() {
-            diagnostics.extend(adsafe_checkers::naming::check_macros(&parsed.pp));
+    /// Adds one source file from raw bytes. Invalid UTF-8 is replaced
+    /// lossily and recorded as an ingest fault — the file still flows
+    /// through the full ladder rather than being rejected.
+    pub fn add_file_bytes(&mut self, module: &str, path: &str, bytes: &[u8]) -> &mut Self {
+        let text = String::from_utf8_lossy(bytes);
+        if let std::borrow::Cow::Owned(_) = text {
+            let replaced = text.chars().filter(|&c| c == '\u{fffd}').count();
+            self.ingest_faults.push(Fault {
+                phase: FaultPhase::Ingest,
+                path: path.to_string(),
+                severity: FaultSeverity::Degraded,
+                cause: FaultCause::NonUtf8 { replaced },
+                recovery: Recovery::ResyncParse,
+            });
         }
-
-        let modules = self.module_metrics(&cx);
-        let unit = adsafe_checkers::unit_design_stats(&cx);
-        let evidence = self.assemble_evidence(&cx, &modules, &unit, &diagnostics);
-        let compliance = assess(&evidence, self.options.asil);
-        let observations = observations(&evidence);
-        AssessmentReport { evidence, compliance, observations, modules, diagnostics }
+        let owned = text.into_owned();
+        self.add_file(module, path, &owned)
     }
 
-    fn module_metrics(&self, cx: &CheckContext<'_>) -> Vec<ModuleMetrics> {
-        cx.modules()
-            .into_iter()
-            .map(|m| {
-                let files: Vec<_> = cx
-                    .module_entries(m)
-                    .into_iter()
-                    .map(|e| (e.file, e.unit))
-                    .collect();
-                module_metrics(m, &files)
-            })
-            .collect()
+    /// Runs metrics, checkers, and the compliance engine with per-item
+    /// panic containment. Never panics on any input; every contained
+    /// failure is in the returned report's `faults`.
+    pub fn run(&self) -> AssessmentReport {
+        let mut log = FaultLog::new();
+        for f in &self.ingest_faults {
+            log.push(f.clone());
+        }
+        let budgets = self.options.budgets;
+
+        // Phase 1: parse, descending the ladder per file.
+        let mut set = AnalysisSet::new();
+        let mut estimates: Vec<(String, TokenEstimate)> = Vec::new();
+        let parse_start = Instant::now();
+        let mut parse_deadline_hit = false;
+        for rf in &self.files {
+            let id = set.sm.add_file(&rf.path, &rf.text);
+            let text = set.sm.file(id).text().to_string();
+            if parse_deadline_hit || budgets.exceeded(parse_start) {
+                if !parse_deadline_hit {
+                    parse_deadline_hit = true;
+                    log.push(Fault {
+                        phase: FaultPhase::Parse,
+                        path: rf.path.clone(),
+                        severity: FaultSeverity::Degraded,
+                        cause: FaultCause::DeadlineExceeded { budget_ms: budgets.budget_ms() },
+                        recovery: Recovery::TokenMetrics,
+                    });
+                }
+                // Past the deadline: token-only estimation (cheap, total)
+                // keeps every remaining file contributing evidence.
+                if let Ok(est) =
+                    catch_unwind(AssertUnwindSafe(|| token_estimate(id, &text)))
+                {
+                    estimates.push((rf.module.clone(), est));
+                }
+                continue;
+            }
+            let parsed = catch_unwind(AssertUnwindSafe(|| {
+                failpoints::hit("pipeline::parse_file");
+                failpoints::hit(&format!("pipeline::parse_file::{}", rf.path));
+                adsafe_lang::parse_source(id, &text)
+            }));
+            match parsed {
+                Ok(p) => {
+                    let regions = p.unit.recovery_count;
+                    if regions > 0 {
+                        log.push(Fault {
+                            phase: FaultPhase::Parse,
+                            path: rf.path.clone(),
+                            severity: FaultSeverity::Degraded,
+                            cause: FaultCause::ParseResync { regions },
+                            recovery: Recovery::ResyncParse,
+                        });
+                    }
+                    set.add_parsed(&rf.module, id, p);
+                }
+                Err(payload) => {
+                    let cause = classify_panic(&panic_message(&*payload));
+                    match catch_unwind(AssertUnwindSafe(|| token_estimate(id, &text))) {
+                        Ok(est) => {
+                            estimates.push((rf.module.clone(), est));
+                            log.push(Fault {
+                                phase: FaultPhase::Parse,
+                                path: rf.path.clone(),
+                                severity: FaultSeverity::Degraded,
+                                cause,
+                                recovery: Recovery::TokenMetrics,
+                            });
+                        }
+                        Err(payload2) => {
+                            let _ = payload2;
+                            log.push(Fault {
+                                phase: FaultPhase::Parse,
+                                path: rf.path.clone(),
+                                severity: FaultSeverity::Lost,
+                                cause,
+                                recovery: Recovery::Dropped,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phase 2: checkers, isolated per rule.
+        let cx = set.context();
+        let checks = default_checks();
+        let checks_start = Instant::now();
+        let mut diagnostics: Vec<Diagnostic> = Vec::new();
+        for c in &checks {
+            if budgets.exceeded(checks_start) {
+                log.push(Fault {
+                    phase: FaultPhase::Checks,
+                    path: c.id().to_string(),
+                    severity: FaultSeverity::Degraded,
+                    cause: FaultCause::DeadlineExceeded { budget_ms: budgets.budget_ms() },
+                    recovery: Recovery::SkippedItem,
+                });
+                break;
+            }
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+                failpoints::hit("pipeline::check");
+                failpoints::hit(&format!("pipeline::check::{}", c.id()));
+            })) {
+                log.push(Fault {
+                    phase: FaultPhase::Checks,
+                    path: c.id().to_string(),
+                    severity: FaultSeverity::Degraded,
+                    cause: classify_panic(&panic_message(&*payload)),
+                    recovery: Recovery::SkippedItem,
+                });
+                continue;
+            }
+            match run_one_check(c.as_ref(), &cx) {
+                Ok(diags) => diagnostics.extend(diags),
+                Err(failure) => log.push(Fault {
+                    phase: FaultPhase::Checks,
+                    path: failure.check_id.to_string(),
+                    severity: FaultSeverity::Degraded,
+                    cause: FaultCause::Panic(failure.message),
+                    recovery: Recovery::SkippedItem,
+                }),
+            }
+        }
+        diagnostics.sort_by_key(|d| (d.check_id, d.span.file, d.span.start));
+        // Macro naming runs from PpInfo (outside the Check trait),
+        // isolated per file.
+        for (id, _, parsed) in set.parsed() {
+            match catch_unwind(AssertUnwindSafe(|| {
+                adsafe_checkers::naming::check_macros(&parsed.pp)
+            })) {
+                Ok(diags) => diagnostics.extend(diags),
+                Err(payload) => log.push(Fault {
+                    phase: FaultPhase::Checks,
+                    path: set.sm.file(*id).path().to_string(),
+                    severity: FaultSeverity::Degraded,
+                    cause: classify_panic(&panic_message(&*payload)),
+                    recovery: Recovery::SkippedItem,
+                }),
+            }
+        }
+
+        // Phase 3: module metrics, isolated per module, with token-only
+        // fallback so a module never vanishes from Figure 3.
+        let metrics_start = Instant::now();
+        let mut modules: Vec<ModuleMetrics> = Vec::new();
+        for m in cx.modules() {
+            let entries = cx.module_entries(m);
+            let deadline_hit = budgets.exceeded(metrics_start);
+            let result = if deadline_hit {
+                Err(FaultCause::DeadlineExceeded { budget_ms: budgets.budget_ms() })
+            } else {
+                catch_unwind(AssertUnwindSafe(|| {
+                    failpoints::hit(&format!("pipeline::metrics::{m}"));
+                    let files: Vec<_> =
+                        entries.iter().map(|e| (e.file, e.unit)).collect();
+                    module_metrics(m, &files)
+                }))
+                .map_err(|payload| classify_panic(&panic_message(&*payload)))
+            };
+            match result {
+                Ok(mm) => modules.push(mm),
+                Err(cause) => {
+                    let ests: Vec<TokenEstimate> = entries
+                        .iter()
+                        .filter_map(|e| {
+                            catch_unwind(AssertUnwindSafe(|| {
+                                token_estimate(e.file.id(), e.file.text())
+                            }))
+                            .ok()
+                        })
+                        .collect();
+                    modules.push(module_from_estimates(m, &ests));
+                    log.push(Fault {
+                        phase: FaultPhase::Metrics,
+                        path: m.to_string(),
+                        severity: FaultSeverity::Degraded,
+                        cause,
+                        recovery: Recovery::TokenMetrics,
+                    });
+                }
+            }
+        }
+        // Absorb tier-3 files into their modules' metrics.
+        for (module, est) in &estimates {
+            match modules.iter_mut().find(|m| &m.name == module) {
+                Some(m) => absorb_estimate(m, est),
+                None => modules.push(module_from_estimates(module, &[*est])),
+            }
+        }
+
+        // Phase 4: evidence assembly and compliance judgement, with a
+        // conservative-default fallback (critical fault) if it panics.
+        let unit = catch_unwind(AssertUnwindSafe(|| {
+            failpoints::hit("pipeline::assess");
+            adsafe_checkers::unit_design_stats(&cx)
+        }))
+        .unwrap_or_else(|payload| {
+            log.push(Fault {
+                phase: FaultPhase::Assess,
+                path: "unit-design-stats".to_string(),
+                severity: FaultSeverity::Critical,
+                cause: classify_panic(&panic_message(&*payload)),
+                recovery: Recovery::FallbackDefault,
+            });
+            adsafe_checkers::UnitDesignStats::default()
+        });
+        let evidence = catch_unwind(AssertUnwindSafe(|| {
+            self.assemble_evidence(&cx, &modules, &unit, &diagnostics)
+        }))
+        .unwrap_or_else(|payload| {
+            log.push(Fault {
+                phase: FaultPhase::Assess,
+                path: "evidence".to_string(),
+                severity: FaultSeverity::Critical,
+                cause: classify_panic(&panic_message(&*payload)),
+                recovery: Recovery::FallbackDefault,
+            });
+            Evidence {
+                total_loc: modules.iter().map(|m| m.loc.nloc).sum(),
+                coverage: self.options.coverage,
+                ..Evidence::default()
+            }
+        });
+        let compliance = catch_unwind(AssertUnwindSafe(|| assess(&evidence, self.options.asil)))
+            .unwrap_or_else(|payload| {
+                log.push(Fault {
+                    phase: FaultPhase::Assess,
+                    path: "compliance".to_string(),
+                    severity: FaultSeverity::Critical,
+                    cause: classify_panic(&panic_message(&*payload)),
+                    recovery: Recovery::FallbackDefault,
+                });
+                ComplianceReport { asil: self.options.asil, verdicts: Vec::new() }
+            });
+        let observations = catch_unwind(AssertUnwindSafe(|| observations(&evidence)))
+            .unwrap_or_else(|payload| {
+                log.push(Fault {
+                    phase: FaultPhase::Assess,
+                    path: "observations".to_string(),
+                    severity: FaultSeverity::Critical,
+                    cause: classify_panic(&panic_message(&*payload)),
+                    recovery: Recovery::FallbackDefault,
+                });
+                Vec::new()
+            });
+
+        let degraded = log.degrades_report();
+        AssessmentReport {
+            evidence,
+            compliance,
+            observations,
+            modules,
+            diagnostics,
+            faults: log,
+            degraded,
+        }
     }
 
     fn assemble_evidence(
@@ -222,6 +542,15 @@ impl Assessment {
     }
 }
 
+/// An injected failpoint panic keeps its identity in the fault log.
+fn classify_panic(msg: &str) -> FaultCause {
+    if msg.starts_with("failpoint `") {
+        FaultCause::Injected(msg.to_string())
+    } else {
+        FaultCause::Panic(msg.to_string())
+    }
+}
+
 /// Convenience: assess a generated Apollo-like corpus.
 pub fn assess_corpus(
     files: &[adsafe_corpus::GeneratedFile],
@@ -274,6 +603,13 @@ mod tests {
     }
 
     #[test]
+    fn clean_run_is_fault_free() {
+        let r = small_report();
+        assert!(r.faults.is_empty(), "{:?}", r.faults);
+        assert!(!r.degraded);
+    }
+
+    #[test]
     fn compliance_report_has_25_verdicts() {
         let r = small_report();
         assert_eq!(r.compliance.verdicts.len(), 25);
@@ -308,5 +644,87 @@ mod tests {
         assert_eq!(r.evidence.total_functions > 100, true);
         assert!(r.evidence.functions_over_cc10 >= spec.total_over_10());
         assert!(r.compliance.blocking_count() > 0);
+    }
+
+    #[test]
+    fn resynced_file_degrades_but_contributes() {
+        let mut a = Assessment::new();
+        a.add_file("m", "good.cc", "int f() { return 1; }\n");
+        // Mangled enough that the parser must resynchronise.
+        a.add_file("m", "bad.cc", "int ; ] ) } = 5 +;\nint h() { return 2; }\n");
+        let r = a.run();
+        assert!(r.degraded);
+        assert!(r.faults.iter().any(|f| {
+            f.path == "bad.cc"
+                && matches!(f.cause, FaultCause::ParseResync { .. })
+                && f.recovery == Recovery::ResyncParse
+        }));
+        // Both files are in the module metrics.
+        assert_eq!(r.modules.len(), 1);
+        assert_eq!(r.modules[0].file_count, 2);
+    }
+
+    #[test]
+    fn injected_parse_panic_falls_to_token_metrics() {
+        let _g = failpoints::Armed::new(
+            "pipeline::parse_file::m/a.cc",
+            failpoints::Action::Panic("parser bug".into()),
+        );
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut a = Assessment::new();
+        a.add_file("m", "m/a.cc", "int f() { if (f()) return 1; return 0; }\n");
+        a.add_file("m", "m/b.cc", "int g() { return 2; }\n");
+        let r = a.run();
+        std::panic::set_hook(prev);
+        assert!(r.degraded);
+        let f = r
+            .faults
+            .iter()
+            .find(|f| f.path == "m/a.cc")
+            .expect("fault for panicked file");
+        assert_eq!(f.recovery, Recovery::TokenMetrics);
+        assert!(matches!(f.cause, FaultCause::Injected(_)));
+        // The panicked file still contributes NLOC via tier 3.
+        let m = &r.modules[0];
+        assert_eq!(m.file_count, 2);
+        assert_eq!(m.absorbed_files, 1);
+        assert!(m.loc.nloc >= 2);
+    }
+
+    #[test]
+    fn non_utf8_input_is_ingestible() {
+        let mut a = Assessment::new();
+        a.add_file_bytes("m", "weird.cc", b"int f() { return 1; }\n\xff\xfe\x00junk\n");
+        let r = a.run();
+        assert!(r.degraded);
+        assert!(r.faults.iter().any(|f| {
+            f.phase == FaultPhase::Ingest && matches!(f.cause, FaultCause::NonUtf8 { .. })
+        }));
+        assert_eq!(r.modules[0].file_count, 1);
+    }
+
+    #[test]
+    fn parse_deadline_sends_remaining_files_to_tier3() {
+        let _g = failpoints::Armed::new(
+            "pipeline::parse_file",
+            failpoints::Action::Delay(Duration::from_millis(25)),
+        );
+        let mut a = Assessment::new().with_options(AssessmentOptions {
+            budgets: Budgets { phase_deadline: Some(Duration::from_millis(10)) },
+            ..AssessmentOptions::default()
+        });
+        for i in 0..4 {
+            a.add_file("m", &format!("f{i}.cc"), "int f() { return 1; }\n");
+        }
+        let r = a.run();
+        assert!(r.degraded);
+        assert!(r
+            .faults
+            .iter()
+            .any(|f| matches!(f.cause, FaultCause::DeadlineExceeded { .. })));
+        // Every file still contributes evidence.
+        assert_eq!(r.modules[0].file_count, 4);
+        assert!(r.modules[0].absorbed_files >= 1);
     }
 }

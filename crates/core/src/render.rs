@@ -148,6 +148,40 @@ pub fn full_report_markdown(report: &AssessmentReport) -> String {
     for (rule, n) in counts {
         out.push_str(&format!("| `{rule}` | {n} |\n"));
     }
+    if !report.faults.is_empty() {
+        out.push('\n');
+        out.push_str(&fault_summary(report));
+    }
+    out
+}
+
+/// Renders the fault log: degradation banner, counts per phase, worst
+/// severity, and the individual faults. Empty string for a clean run.
+pub fn fault_summary(report: &AssessmentReport) -> String {
+    if report.faults.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    out.push_str("## Fault log\n\n");
+    if report.degraded {
+        out.push_str(
+            "**Degraded assessment**: some evidence was recovered through \
+             lower tiers of the degradation ladder or lost.\n\n",
+        );
+    }
+    let worst = report.faults.worst().expect("non-empty log has a worst severity");
+    out.push_str(&format!(
+        "- faults contained: {}\n- worst severity: {}\n",
+        report.faults.len(),
+        worst.name()
+    ));
+    for (phase, n) in report.faults.counts_by_phase() {
+        out.push_str(&format!("- {}: {}\n", phase.name(), n));
+    }
+    out.push('\n');
+    for f in &report.faults {
+        out.push_str(&format!("- {f}\n"));
+    }
     out
 }
 
@@ -227,5 +261,23 @@ mod tests {
         assert!(md.contains("design-global-variable"));
         assert!(md.contains("Modeling/coding guidelines"));
         assert!(md.contains("compliance ratio"));
+        // Clean run: no fault section.
+        assert!(!md.contains("## Fault log"));
+        assert_eq!(fault_summary(&r), "");
+    }
+
+    #[test]
+    fn fault_summary_renders_degradation() {
+        let mut a = Assessment::new();
+        a.add_file("m", "bad.cc", "int ; ] ) } = 5 +;\nint h() { return 2; }\n");
+        let r = a.run();
+        assert!(r.degraded);
+        let s = fault_summary(&r);
+        assert!(s.contains("Degraded assessment"), "{s}");
+        assert!(s.contains("worst severity: degraded"), "{s}");
+        assert!(s.contains("parse: 1"), "{s}");
+        assert!(s.contains("bad.cc"), "{s}");
+        let md = full_report_markdown(&r);
+        assert!(md.contains("## Fault log"));
     }
 }

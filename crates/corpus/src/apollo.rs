@@ -304,7 +304,7 @@ fn generate_module(m: &ModuleSpec, seed: u64, upstream: Option<&str>) -> Vec<Gen
         while w.lines() + 12 < budget {
             // Filler functions carry the module's multi-exit fraction too,
             // so padding does not dilute the Table-8 row-1 statistic.
-            let me = pad % stride.max(1) == 0;
+            let me = pad.is_multiple_of(stride.max(1));
             gen_filler(&mut w, &format!("{}Util{f}_{pad}", camel(&m.name)), 10, me);
             pad += 1;
         }

@@ -25,10 +25,12 @@
 #![warn(missing_docs)]
 
 pub mod apollo;
+pub mod faultinject;
 pub mod generator;
 pub mod translate;
 pub mod writer;
 pub mod yolo;
 
 pub use apollo::{generate, ApolloSpec, GeneratedFile, ModuleSpec};
+pub use faultinject::{corrupt, corrupt_all, CorruptedFile, Corruption};
 pub use translate::{cuda_to_cpu, Translated, TranslatedKernel};

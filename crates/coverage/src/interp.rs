@@ -181,10 +181,7 @@ impl<'p> Interp<'p> {
         let mut result = Value::Void;
         let flow = self.exec_block_stmts(&func.body.stmts, &mut env);
         self.depth -= 1;
-        match flow? {
-            Flow::Return(v) => result = v,
-            _ => {}
-        }
+        if let Flow::Return(v) = flow? { result = v }
         Ok(result)
     }
 

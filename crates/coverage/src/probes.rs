@@ -43,7 +43,7 @@ pub fn condition_leaves(e: &Expr) -> Vec<Span> {
     let mut out = Vec::new();
     fn rec(e: &Expr, out: &mut Vec<Span>) {
         match &e.kind {
-            ExprKind::Binary { op, lhs, rhs } if matches!(op, BinOp::LogAnd | BinOp::LogOr) => {
+            ExprKind::Binary { op: BinOp::LogAnd | BinOp::LogOr, lhs, rhs } => {
                 rec(lhs, out);
                 rec(rhs, out);
             }

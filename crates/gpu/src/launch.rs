@@ -77,6 +77,124 @@ pub fn launch_phased<S, MS, F>(
     }
 }
 
+/// Abnormal termination of a budgeted phased launch.
+///
+/// Both variants are the emulator's rendering of the classic
+/// `__syncthreads` failure modes: a kernel that would hang the device
+/// (threads spinning forever between barriers) and a kernel where the
+/// threads of a block disagree about reaching the barrier at all
+/// (undefined behaviour on real hardware).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaunchFault {
+    /// A thread never stopped returning [`Phase::Continue`]: the phase
+    /// budget ran out with the block still spinning at the barrier.
+    BarrierDeadlock {
+        /// Block that deadlocked.
+        block: Dim3,
+        /// The configured phase budget.
+        budget: u64,
+    },
+    /// Within one phase, some threads of a block reached the barrier
+    /// ([`Phase::Continue`]) while others exited ([`Phase::Done`]) —
+    /// a barrier not reached by all threads of the block.
+    BarrierDivergence {
+        /// Block in which the divergence occurred.
+        block: Dim3,
+        /// Phase index at which it occurred.
+        phase: u64,
+        /// Threads that reached the barrier.
+        continuing: u64,
+        /// Threads that exited instead.
+        exited: u64,
+    },
+}
+
+impl std::fmt::Display for LaunchFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchFault::BarrierDeadlock { block, budget } => write!(
+                f,
+                "barrier deadlock: block {block:?} still at the barrier after {budget} phases"
+            ),
+            LaunchFault::BarrierDivergence { block, phase, continuing, exited } => write!(
+                f,
+                "barrier divergence: block {block:?} phase {phase}: \
+                 {continuing} thread(s) at the barrier, {exited} exited"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LaunchFault {}
+
+/// Statistics from a completed budgeted phased launch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhasedStats {
+    /// Barrier phases executed, summed over blocks.
+    pub phases: u64,
+    /// Kernel-body invocations (threads × phases).
+    pub thread_steps: u64,
+}
+
+/// [`launch_phased`] with a per-block phase budget and barrier-fault
+/// detection: terminates with a [`LaunchFault`] instead of hanging.
+///
+/// A block may run at most `max_phases` phases; a block still returning
+/// [`Phase::Continue`] at the budget is reported as a barrier deadlock
+/// (on hardware, the `__syncthreads` loop would spin forever). A phase
+/// in which only *some* threads of the block reach the barrier is
+/// reported as barrier divergence. Blocks before the faulting one have
+/// already executed — callers treat side effects as partial evidence.
+pub fn launch_phased_budgeted<S, MS, F>(
+    grid: impl Into<Dim3>,
+    block: impl Into<Dim3>,
+    max_phases: u64,
+    mut make_shared: MS,
+    mut kernel: F,
+) -> Result<PhasedStats, LaunchFault>
+where
+    MS: FnMut() -> S,
+    F: FnMut(&ThreadCtx, &mut S, usize) -> Phase,
+{
+    let grid = grid.into();
+    let block = block.into();
+    let mut stats = PhasedStats::default();
+    for b in grid.iter() {
+        let mut shared = make_shared();
+        let mut phase = 0u64;
+        loop {
+            let mut continuing = 0u64;
+            let mut exited = 0u64;
+            for t in block.iter() {
+                let ctx =
+                    ThreadCtx { block_idx: b, thread_idx: t, block_dim: block, grid_dim: grid };
+                match kernel(&ctx, &mut shared, phase as usize) {
+                    Phase::Continue => continuing += 1,
+                    Phase::Done => exited += 1,
+                }
+                stats.thread_steps += 1;
+            }
+            stats.phases += 1;
+            if continuing == 0 {
+                break;
+            }
+            if exited > 0 {
+                return Err(LaunchFault::BarrierDivergence {
+                    block: b,
+                    phase,
+                    continuing,
+                    exited,
+                });
+            }
+            phase += 1;
+            if phase >= max_phases {
+                return Err(LaunchFault::BarrierDeadlock { block: b, budget: max_phases });
+            }
+        }
+    }
+    Ok(stats)
+}
+
 /// Launch statistics, mirroring what a CUDA profiler would report.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LaunchStats {
@@ -193,6 +311,83 @@ mod tests {
             },
         );
         assert_eq!(sums, vec![4.0, 4.0]);
+    }
+
+    #[test]
+    fn budgeted_launch_passes_well_formed_kernel() {
+        const N: usize = 8;
+        let mut out = vec![0.0f32; N];
+        let stats = launch_phased_budgeted(
+            1u32,
+            N as u32,
+            16,
+            || vec![0.0f32; N],
+            |ctx, shared: &mut Vec<f32>, phase| {
+                let tid = ctx.thread_rank();
+                match phase {
+                    0 => {
+                        shared[tid] = tid as f32;
+                        Phase::Continue
+                    }
+                    _ => {
+                        out[tid] = shared[(tid + 1) % N];
+                        Phase::Done
+                    }
+                }
+            },
+        )
+        .expect("well-formed kernel must pass");
+        assert_eq!(stats.phases, 2);
+        assert_eq!(stats.thread_steps, 2 * N as u64);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, ((i + 1) % N) as f32);
+        }
+    }
+
+    #[test]
+    fn budgeted_launch_detects_barrier_deadlock() {
+        // Thread 0 never stops spinning at the barrier: on hardware the
+        // block would hang forever. The budget converts that to a fault.
+        let fault = launch_phased_budgeted(
+            1u32,
+            4u32,
+            10,
+            || (),
+            |_ctx, _shared, _phase| Phase::Continue,
+        )
+        .expect_err("spinning kernel must fault");
+        match fault {
+            LaunchFault::BarrierDeadlock { budget, .. } => assert_eq!(budget, 10),
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn budgeted_launch_detects_barrier_divergence() {
+        // Thread 3 exits in phase 0 while the rest hit the barrier —
+        // a __syncthreads not reached by all threads of the block.
+        let fault = launch_phased_budgeted(
+            1u32,
+            4u32,
+            10,
+            || (),
+            |ctx, _shared: &mut (), phase| {
+                if ctx.thread_rank() == 3 || phase == 1 {
+                    Phase::Done
+                } else {
+                    Phase::Continue
+                }
+            },
+        )
+        .expect_err("divergent kernel must fault");
+        match fault {
+            LaunchFault::BarrierDivergence { phase, continuing, exited, .. } => {
+                assert_eq!(phase, 0);
+                assert_eq!(continuing, 3);
+                assert_eq!(exited, 1);
+            }
+            other => panic!("expected divergence, got {other}"),
+        }
     }
 
     #[test]

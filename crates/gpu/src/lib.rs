@@ -38,5 +38,8 @@ pub use brook::Stream;
 pub use device::{DeviceBuffer, DeviceContext, DeviceStats};
 pub use dim::{Dim3, ThreadCtx};
 pub use kernels::ConvShape;
-pub use launch::{launch, launch_phased, LaunchTracker, Phase};
+pub use launch::{
+    launch, launch_phased, launch_phased_budgeted, LaunchFault, LaunchTracker, Phase,
+    PhasedStats,
+};
 pub use yolo::{synthetic_frame, Backend, Detection, YoloNet};

@@ -82,7 +82,7 @@ impl YoloNet {
     /// Panics if `input_hw` is not divisible by `2^depth`.
     pub fn tiny(input_c: usize, input_hw: usize, depth: usize, classes: usize, seed: u64) -> Self {
         assert!(
-            input_hw % (1 << depth) == 0,
+            input_hw.is_multiple_of(1 << depth),
             "input {input_hw} not divisible by 2^{depth}"
         );
         let mut layers = Vec::new();
@@ -102,7 +102,7 @@ impl YoloNet {
             };
             let weights =
                 (0..shape.weight_len()).map(|i| det_weight(seed + l as u64, i)).collect();
-            let biases = (0..filters).map(|i| det_weight(seed ^ 0xbead + l as u64, i)).collect();
+            let biases = (0..filters).map(|i| det_weight(seed ^ (0xbead + l as u64), i)).collect();
             layers.push(ConvLayer { shape, weights, biases, pool: true });
             c = filters;
             hw /= 2;

@@ -1947,8 +1947,6 @@ impl<'a> Parser<'a> {
                     if !saw_type && self.type_names.contains(name) {
                         saw_type = true;
                         i += 1;
-                    } else if saw_type {
-                        return false;
                     } else {
                         return false;
                     }

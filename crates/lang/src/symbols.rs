@@ -293,7 +293,7 @@ impl Analyzer {
                 }
             }
             ExprKind::Index { base, index } => {
-                self.expr(base, if writing { true } else { false });
+                self.expr(base, writing);
                 self.expr(index, false);
             }
             ExprKind::Member { base, .. } => self.expr(base, writing),

@@ -25,6 +25,7 @@ pub enum Kw {
 
 impl Kw {
     /// Looks up a keyword by its source spelling.
+    #[allow(clippy::should_implement_trait)] // fallible lookup, not a parse
     pub fn from_str(s: &str) -> Option<Kw> {
         use Kw::*;
         Some(match s {

@@ -59,7 +59,7 @@ pub fn function_metrics(file: &SourceFile, func: &FunctionDef) -> FunctionMetric
         .body
         .stmts
         .last()
-        .is_some_and(|s| stmt_is_return_like(s));
+        .is_some_and(stmt_is_return_like);
     let multi_exit = return_count > 1 || (return_count == 1 && !ends_with_return);
     FunctionMetrics {
         name: func.sig.name.clone(),

@@ -91,7 +91,7 @@ pub fn halstead(text: &str) -> Halstead {
         distinct_operators: distinct_ops.len(),
         distinct_operands: distinct_operands.len(),
         total_operators: total_ops,
-        total_operands: total_operands,
+        total_operands,
     }
 }
 

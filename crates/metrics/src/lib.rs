@@ -24,9 +24,11 @@ pub mod function;
 pub mod halstead;
 pub mod loc;
 pub mod module;
+pub mod token_estimate;
 
 pub use cyclomatic::{cyclomatic_complexity, ComplexityBand, ComplexityHistogram};
 pub use function::{function_metrics, FunctionMetrics};
 pub use halstead::{halstead, maintainability_index, Halstead};
 pub use loc::{count_file, count_text, span_nloc, LocCounts};
 pub use module::{coupling, module_metrics, ModuleMetrics};
+pub use token_estimate::{absorb_estimate, module_from_estimates, token_estimate, TokenEstimate};

@@ -31,6 +31,9 @@ pub struct ModuleMetrics {
     /// LCOM-style cohesion in `[0, 1]`: 1 means every pair of functions
     /// shares at least one accessed module global; 0 means none do.
     pub cohesion: f64,
+    /// Files whose evidence came from token-only estimation (degraded
+    /// tier) rather than a parse. Always `<= file_count`.
+    pub absorbed_files: usize,
 }
 
 impl ModuleMetrics {
@@ -104,6 +107,7 @@ pub fn module_metrics(name: &str, files: &[(&SourceFile, &TranslationUnit)]) -> 
         global_count,
         mean_params,
         cohesion,
+        absorbed_files: 0,
     }
 }
 

@@ -117,3 +117,63 @@ fn mcdc_is_never_above_branch_per_file() {
         );
     }
 }
+
+#[test]
+fn tight_loop_terminates_with_step_limit_fault() {
+    // A watchdog-style guard rail: a runaway loop in analysed code must
+    // surface as `StepLimit`, not hang the assessment.
+    use adsafe::coverage::{Interp, InterpError, Limits, Program};
+    use adsafe::lang::{parse_source, SourceMap};
+
+    let src = "int spin(int n) {\n\
+               int acc = 0;\n\
+               while (1) { acc = acc + n; }\n\
+               return acc;\n\
+               }\n";
+    let mut sm = SourceMap::new();
+    let id = sm.add_file("spin.c", src);
+    let parsed = parse_source(id, sm.file(id).text());
+    let program = Program::from_units(&[&parsed.unit]);
+    let mut interp = Interp::new(&program)
+        .with_limits(Limits { max_steps: 10_000, max_depth: 96 });
+    let err = interp
+        .call("spin", vec![adsafe::coverage::Value::Int(1)])
+        .expect_err("tight loop must hit the step budget");
+    assert!(matches!(err, InterpError::StepLimit), "got {err}");
+}
+
+#[test]
+fn deep_recursion_terminates_with_stack_overflow_fault() {
+    use adsafe::coverage::{Interp, InterpError, Limits, Program};
+    use adsafe::lang::{parse_source, SourceMap};
+
+    let src = "int dive(int n) { return dive(n + 1); }\n";
+    let mut sm = SourceMap::new();
+    let id = sm.add_file("dive.c", src);
+    let parsed = parse_source(id, sm.file(id).text());
+    let program = Program::from_units(&[&parsed.unit]);
+    let mut interp = Interp::new(&program)
+        .with_limits(Limits { max_steps: 10_000_000, max_depth: 64 });
+    let err = interp
+        .call("dive", vec![adsafe::coverage::Value::Int(0)])
+        .expect_err("unbounded recursion must hit the depth budget");
+    assert!(matches!(err, InterpError::StackOverflow), "got {err}");
+}
+
+#[test]
+fn bounded_recursion_within_budget_succeeds() {
+    // The guard rails must not fire on well-behaved code: the same
+    // budgets admit a recursion that stays within depth.
+    use adsafe::coverage::{Interp, Limits, Program, Value};
+    use adsafe::lang::{parse_source, SourceMap};
+
+    let src = "int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }\n";
+    let mut sm = SourceMap::new();
+    let id = sm.add_file("fact.c", src);
+    let parsed = parse_source(id, sm.file(id).text());
+    let program = Program::from_units(&[&parsed.unit]);
+    let mut interp = Interp::new(&program)
+        .with_limits(Limits { max_steps: 10_000, max_depth: 64 });
+    let v = interp.call("fact", vec![Value::Int(10)]).expect("bounded recursion passes");
+    assert_eq!(v.as_i64(), 3_628_800);
+}

@@ -230,3 +230,50 @@ void scale_bias_brook(Stream output, Stream biases, int batch, int n,\n\
     adsafe::gpu::kernels::scale_bias(&mut expected, &[2.0, 3.0, 4.0], 2, 3, 4);
     assert_eq!(out.to_vec(), expected);
 }
+
+#[test]
+fn kernel_missing_barrier_faults_within_budget() {
+    // A reduction kernel in which thread 0 waits for data that thread 1
+    // never publishes: thread 1 keeps spinning at the barrier, so on
+    // hardware the block would hang. The budgeted launcher must turn
+    // that hang into a fault, within the configured phase budget.
+    use adsafe::gpu::{launch_phased_budgeted, LaunchFault};
+
+    let budget = 64u64;
+    let fault = launch_phased_budgeted(
+        1u32,
+        4u32,
+        budget,
+        || vec![0.0f32; 4],
+        |ctx, shared: &mut Vec<f32>, phase| {
+            let tid = ctx.thread_rank();
+            if tid == 1 {
+                // Never converges: always asks for one more phase.
+                Phase::Continue
+            } else {
+                shared[tid] = phase as f32;
+                if phase >= 1 { Phase::Done } else { Phase::Continue }
+            }
+        },
+    )
+    .expect_err("kernel with a spinning thread must fault, not hang");
+    match fault {
+        // Threads 0,2,3 exit at phase 1 while thread 1 continues: the
+        // emulator reports the barrier divergence at that phase — well
+        // inside the budget.
+        LaunchFault::BarrierDivergence { phase, continuing, exited, .. } => {
+            assert!(phase < budget);
+            assert_eq!(continuing, 1);
+            assert_eq!(exited, 3);
+        }
+        LaunchFault::BarrierDeadlock { budget: b, .. } => assert_eq!(b, budget),
+    }
+}
+
+#[test]
+fn uniform_spin_reports_deadlock_at_budget() {
+    use adsafe::gpu::{launch_phased_budgeted, LaunchFault};
+    let fault = launch_phased_budgeted(2u32, 8u32, 32, || 0u32, |_, _, _| Phase::Continue)
+        .expect_err("uniformly spinning block must be declared deadlocked");
+    assert!(matches!(fault, LaunchFault::BarrierDeadlock { budget: 32, .. }));
+}
