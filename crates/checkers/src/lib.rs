@@ -121,16 +121,26 @@ pub struct CheckFailure {
 
 /// Runs one check with panic containment: a rule that panics yields
 /// `Err` with its panic message instead of unwinding into the caller.
+///
+/// Each execution runs under a `check.<rule-id>` trace span (the
+/// per-rule timings behind the report's "slowest rules" list), and the
+/// rule's finding count lands in the `checks.rule.<rule-id>.diags`
+/// counter.
 pub fn run_one_check(
     check: &dyn Check,
     cx: &CheckContext<'_>,
 ) -> Result<Vec<Diagnostic>, CheckFailure> {
-    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check.run(cx))).map_err(
-        |payload| CheckFailure {
+    let _sp = adsafe_trace::span(format!("check.{}", check.id()), "checks");
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check.run(cx)))
+        .map_err(|payload| CheckFailure {
             check_id: check.id(),
             message: payload_message(&*payload),
-        },
-    )
+        });
+    if let Ok(diags) = &result {
+        adsafe_trace::counter(&format!("checks.rule.{}.diags", check.id()))
+            .add(diags.len() as u64);
+    }
+    result
 }
 
 /// Runs every check with per-rule panic isolation: one buggy rule is

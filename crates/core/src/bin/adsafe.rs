@@ -3,12 +3,22 @@
 //!
 //! ```text
 //! adsafe assess <dir> [--asil A|B|C|D] [--report out.md] [--diagnostics]
+//!                     [--trace-out t.json] [--profile] [-v] [-q]
 //! adsafe check <file> [<file>...]          # rule findings only
 //! adsafe tables                            # print the Part-6 tables
+//! adsafe trace-compare <baseline> <current> # perf regression gate
+//! adsafe <dir> [flags...]                  # implicit `assess`
 //! ```
 //!
 //! Files are grouped into modules by their top-level directory, mirroring
 //! how the paper treats Apollo's module tree.
+//!
+//! Observability flags (see DESIGN.md §7): `--trace-out` writes the
+//! run's spans as Chrome trace-event JSON (loadable in
+//! `chrome://tracing` / Perfetto), `--profile` prints per-phase wall
+//! times, the top-10 slowest files and rules, and an in-terminal flame
+//! summary, `-v` additionally dumps the run's counter deltas, and `-q`
+//! suppresses everything except the verdict line and fault summary.
 //!
 //! Exit codes (documented in README.md; scripts rely on them):
 //!
@@ -40,10 +50,16 @@ fn main() {
         Some("assess") => cmd_assess(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("tables") => cmd_tables(),
+        Some("trace-compare") => cmd_trace_compare(&args[1..]),
+        // Implicit assess: `adsafe --profile --trace-out t.json <dir>`.
+        _ if args.iter().any(|a| Path::new(a).is_dir()) => cmd_assess(&args),
         _ => {
             eprintln!(
                 "usage:\n  adsafe assess <dir> [--asil A|B|C|D] [--report out.md] [--diagnostics]\n  \
-                 adsafe check <file> [<file>...]\n  adsafe tables"
+                 {:17}[--trace-out t.json] [--profile] [-v] [-q]\n  \
+                 adsafe check <file> [<file>...]\n  adsafe tables\n  \
+                 adsafe trace-compare <baseline.json> <current.json>",
+                ""
             );
             EXIT_USAGE
         }
@@ -129,19 +145,15 @@ fn print_fault_summary(report: &adsafe::AssessmentReport) {
 }
 
 fn cmd_assess(args: &[String]) -> i32 {
-    let Some(dir) = args.first() else {
-        eprintln!("assess: missing <dir>");
-        return EXIT_USAGE;
-    };
-    let root = PathBuf::from(dir);
-    if !root.is_dir() {
-        eprintln!("assess: `{dir}` is not a directory");
-        return EXIT_USAGE;
-    }
+    let mut dir: Option<&str> = None;
     let mut asil = Asil::D;
     let mut report_path: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut show_diagnostics = false;
-    let mut i = 1;
+    let mut profile = false;
+    let mut verbose = false;
+    let mut quiet = false;
+    let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--asil" => {
@@ -162,13 +174,34 @@ fn cmd_assess(args: &[String]) -> i32 {
                     return EXIT_USAGE;
                 }
             }
+            "--trace-out" => {
+                i += 1;
+                trace_out = args.get(i).cloned();
+                if trace_out.is_none() {
+                    eprintln!("assess: --trace-out needs a path");
+                    return EXIT_USAGE;
+                }
+            }
             "--diagnostics" => show_diagnostics = true,
+            "--profile" => profile = true,
+            "-v" | "--verbose" => verbose = true,
+            "-q" | "--quiet" => quiet = true,
+            other if !other.starts_with('-') && dir.is_none() => dir = Some(other),
             other => {
                 eprintln!("assess: unknown option `{other}`");
                 return EXIT_USAGE;
             }
         }
         i += 1;
+    }
+    let Some(dir) = dir else {
+        eprintln!("assess: missing <dir>");
+        return EXIT_USAGE;
+    };
+    let root = PathBuf::from(dir);
+    if !root.is_dir() {
+        eprintln!("assess: `{dir}` is not a directory");
+        return EXIT_USAGE;
     }
 
     let mut files = Vec::new();
@@ -177,7 +210,9 @@ fn cmd_assess(args: &[String]) -> i32 {
         eprintln!("assess: no C/C++/CUDA sources under `{dir}`");
         return EXIT_IO;
     }
-    eprintln!("assessing {} files under {dir} at {asil} ...", files.len());
+    if !quiet {
+        eprintln!("assessing {} files under {dir} at {asil} ...", files.len());
+    }
 
     let mut assessment = Assessment::new()
         .with_options(AssessmentOptions { asil, ..AssessmentOptions::default() });
@@ -209,11 +244,13 @@ fn cmd_assess(args: &[String]) -> i32 {
         }
         println!();
     }
-    println!("{}", render::table1(&report).to_ascii());
-    println!("{}", render::table2(&report).to_ascii());
-    println!("{}", render::table3(&report).to_ascii());
-    print!("{}", render::observations_text(&report));
-    println!();
+    if !quiet {
+        println!("{}", render::table1(&report).to_ascii());
+        println!("{}", render::table2(&report).to_ascii());
+        println!("{}", render::table3(&report).to_ascii());
+        print!("{}", render::observations_text(&report));
+        println!();
+    }
     println!(
         "{} findings; {} of 25 topics blocking at {}; compliance ratio {:.0}%",
         report.diagnostics.len(),
@@ -222,6 +259,28 @@ fn cmd_assess(args: &[String]) -> i32 {
         report.compliance.compliance_ratio() * 100.0
     );
     print_fault_summary(&report);
+    if profile {
+        print_profile(&report);
+    }
+    if verbose {
+        println!("\ncounters:");
+        for (name, v) in &report.trace.counters {
+            println!("  {name} = {v}");
+        }
+    }
+    if let Some(path) = trace_out {
+        match std::fs::write(&path, report.trace.to_chrome_json()) {
+            Ok(()) => {
+                if !quiet {
+                    eprintln!("chrome trace written to {path}");
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                return EXIT_IO;
+            }
+        }
+    }
     if let Some(path) = report_path {
         match std::fs::write(&path, render::full_report_markdown(&report)) {
             Ok(()) => eprintln!("report written to {path}"),
@@ -232,6 +291,67 @@ fn cmd_assess(args: &[String]) -> i32 {
         }
     }
     exit_code_for(&report)
+}
+
+/// Prints the `--profile` digest: per-phase wall time, slowest files
+/// and rules, and the flame summary.
+fn print_profile(report: &adsafe::AssessmentReport) {
+    let t = &report.trace;
+    println!("\nprofile ({:.1} ms total):", t.total_us as f64 / 1000.0);
+    for p in &t.phases {
+        println!("  phase {:<8} {:>9.2} ms", p.name, p.wall_us as f64 / 1000.0);
+    }
+    if !t.slowest_files.is_empty() {
+        println!("slowest files:");
+        for (path, us) in &t.slowest_files {
+            println!("  {:>9.2} ms  {path}", *us as f64 / 1000.0);
+        }
+    }
+    if !t.slowest_rules.is_empty() {
+        println!("slowest rules:");
+        for (rule, us) in &t.slowest_rules {
+            println!("  {:>9.2} ms  {rule}", *us as f64 / 1000.0);
+        }
+    }
+    println!("\n{}", t.flame());
+}
+
+/// `adsafe trace-compare <baseline.json> <current.json>`: the CI perf
+/// gate. Exits 1 when any phase regresses beyond 2× the baseline
+/// (subject to the noise floor, see `adsafe_trace::bench`).
+fn cmd_trace_compare(args: &[String]) -> i32 {
+    let (Some(base_path), Some(cur_path)) = (args.first(), args.get(1)) else {
+        eprintln!("trace-compare: need <baseline.json> <current.json>");
+        return EXIT_USAGE;
+    };
+    let read = |p: &str| -> Result<adsafe::trace::bench::BenchBaseline, (i32, String)> {
+        let text = std::fs::read_to_string(p)
+            .map_err(|e| (EXIT_IO, format!("cannot read {p}: {e}")))?;
+        adsafe::trace::bench::BenchBaseline::parse(&text)
+            .map_err(|e| (EXIT_USAGE, format!("cannot parse {p}: {e}")))
+    };
+    let (base, cur) = match (read(base_path), read(cur_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err((code, msg)), _) | (_, Err((code, msg))) => {
+            eprintln!("trace-compare: {msg}");
+            return code;
+        }
+    };
+    let regressions = base.regressions(&cur, 2.0);
+    for r in &regressions {
+        println!("REGRESSION: {r}");
+    }
+    if regressions.is_empty() {
+        println!(
+            "trace-compare: {} phase(s) within 2.0x of baseline (total {:.2} ms -> {:.2} ms)",
+            cur.phases.len(),
+            base.total_ms,
+            cur.total_ms
+        );
+        EXIT_OK
+    } else {
+        EXIT_BLOCKING
+    }
 }
 
 fn cmd_check(args: &[String]) -> i32 {

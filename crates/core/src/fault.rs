@@ -53,6 +53,10 @@ impl FaultPhase {
 pub enum FaultSeverity {
     /// No evidence lost; recorded for the audit trail.
     Info,
+    /// A phase ran past its wall-clock budget *during* an item (the
+    /// between-item deadline could not cut it short); all evidence is
+    /// complete, but the run missed its timing contract.
+    Timeout,
     /// Evidence recovered through a lower tier of the ladder.
     Degraded,
     /// Evidence from this item is gone, the rest of the run is intact.
@@ -66,6 +70,7 @@ impl FaultSeverity {
     pub fn name(self) -> &'static str {
         match self {
             FaultSeverity::Info => "info",
+            FaultSeverity::Timeout => "timeout",
             FaultSeverity::Degraded => "degraded",
             FaultSeverity::Lost => "lost",
             FaultSeverity::Critical => "critical",
@@ -92,6 +97,15 @@ pub enum FaultCause {
     DeadlineExceeded {
         /// The configured budget, in milliseconds.
         budget_ms: u64,
+    },
+    /// A phase finished past its budget without ever being cut short:
+    /// the overrun happened inside a single slow item, where the
+    /// between-item deadline check cannot intervene.
+    DeadlineOverrun {
+        /// The configured budget, in milliseconds.
+        budget_ms: u64,
+        /// What the phase actually took, in milliseconds.
+        actual_ms: u64,
     },
     /// An execution budget (steps, phases) ran out.
     BudgetExhausted {
@@ -120,6 +134,9 @@ impl fmt::Display for FaultCause {
             FaultCause::DeadlineExceeded { budget_ms } => {
                 write!(f, "phase deadline of {budget_ms} ms exceeded")
             }
+            FaultCause::DeadlineOverrun { budget_ms, actual_ms } => {
+                write!(f, "phase took {actual_ms} ms against a budget of {budget_ms} ms")
+            }
             FaultCause::BudgetExhausted { budget } => {
                 write!(f, "execution budget of {budget} exhausted")
             }
@@ -144,6 +161,8 @@ pub enum Recovery {
     FallbackDefault,
     /// Nothing could be salvaged for this item.
     Dropped,
+    /// Recorded for accounting only; no evidence was affected.
+    Noted,
 }
 
 impl Recovery {
@@ -155,6 +174,7 @@ impl Recovery {
             Recovery::SkippedItem => "skipped",
             Recovery::FallbackDefault => "fallback-default",
             Recovery::Dropped => "dropped",
+            Recovery::Noted => "noted",
         }
     }
 }
@@ -200,8 +220,9 @@ impl FaultLog {
         Self::default()
     }
 
-    /// Records a fault.
+    /// Records a fault (and counts it in the `faults.<phase>` metric).
     pub fn push(&mut self, fault: Fault) {
+        adsafe_trace::counter(&format!("faults.{}", fault.phase.name())).incr();
         self.faults.push(fault);
     }
 

@@ -41,6 +41,10 @@ pub mod render;
 
 pub use fault::{Fault, FaultCause, FaultLog, FaultPhase, FaultSeverity, Recovery};
 pub use pipeline::{assess_corpus, Assessment, AssessmentOptions, AssessmentReport, Budgets};
+pub use adsafe_trace::TraceSummary;
+
+/// Re-export: structured tracing & metrics registry.
+pub use adsafe_trace as trace;
 
 /// Re-export: language front-end.
 pub use adsafe_lang as lang;

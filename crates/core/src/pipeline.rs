@@ -35,6 +35,7 @@ use adsafe_metrics::{
     absorb_estimate, module_from_estimates, module_metrics, token_estimate, ModuleMetrics,
     TokenEstimate,
 };
+use adsafe_trace::TraceSummary;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
@@ -105,6 +106,9 @@ pub struct AssessmentReport {
     /// Whether any fault cost evidence: the report is still valid but
     /// rests on partially estimated or incomplete measurements.
     pub degraded: bool,
+    /// Self-observability: per-phase wall time, slowest files and
+    /// rules, counter deltas, and the raw span events of this run.
+    pub trace: TraceSummary,
 }
 
 impl AssessmentReport {
@@ -174,7 +178,16 @@ impl Assessment {
     /// Runs metrics, checkers, and the compliance engine with per-item
     /// panic containment. Never panics on any input; every contained
     /// failure is in the returned report's `faults`.
+    ///
+    /// The whole run executes under an `assessment.run` trace span with
+    /// one `phase.*` span per pipeline phase and one `parse.file` span
+    /// per input; the drained events become the report's
+    /// [`AssessmentReport::trace`] summary.
     pub fn run(&self) -> AssessmentReport {
+        let counters_before = adsafe_trace::counter_snapshot();
+        let trace_mark = adsafe_trace::mark();
+        let run_span = adsafe_trace::span("assessment.run", "run");
+
         let mut log = FaultLog::new();
         for f in &self.ingest_faults {
             log.push(f.clone());
@@ -182,11 +195,17 @@ impl Assessment {
         let budgets = self.options.budgets;
 
         // Phase 1: parse, descending the ladder per file.
+        let phase_span = adsafe_trace::span("phase.parse", "phase");
         let mut set = AnalysisSet::new();
         let mut estimates: Vec<(String, TokenEstimate)> = Vec::new();
         let parse_start = Instant::now();
         let mut parse_deadline_hit = false;
         for rf in &self.files {
+            let _file_span = adsafe_trace::span_with(
+                "parse.file",
+                "parse",
+                vec![("path", rf.path.clone())],
+            );
             let id = set.sm.add_file(&rf.path, &rf.text);
             let text = set.sm.file(id).text().to_string();
             if parse_deadline_hit || budgets.exceeded(parse_start) {
@@ -206,6 +225,7 @@ impl Assessment {
                     catch_unwind(AssertUnwindSafe(|| token_estimate(id, &text)))
                 {
                     estimates.push((rf.module.clone(), est));
+                    adsafe_trace::counter("parse.tier3.files").incr();
                 }
                 continue;
             }
@@ -218,6 +238,7 @@ impl Assessment {
                 Ok(p) => {
                     let regions = p.unit.recovery_count;
                     if regions > 0 {
+                        adsafe_trace::counter("parse.tier2.files").incr();
                         log.push(Fault {
                             phase: FaultPhase::Parse,
                             path: rf.path.clone(),
@@ -225,6 +246,8 @@ impl Assessment {
                             cause: FaultCause::ParseResync { regions },
                             recovery: Recovery::ResyncParse,
                         });
+                    } else {
+                        adsafe_trace::counter("parse.tier1.files").incr();
                     }
                     set.add_parsed(&rf.module, id, p);
                 }
@@ -233,6 +256,7 @@ impl Assessment {
                     match catch_unwind(AssertUnwindSafe(|| token_estimate(id, &text))) {
                         Ok(est) => {
                             estimates.push((rf.module.clone(), est));
+                            adsafe_trace::counter("parse.tier3.files").incr();
                             log.push(Fault {
                                 phase: FaultPhase::Parse,
                                 path: rf.path.clone(),
@@ -243,6 +267,7 @@ impl Assessment {
                         }
                         Err(payload2) => {
                             let _ = payload2;
+                            adsafe_trace::counter("parse.dropped.files").incr();
                             log.push(Fault {
                                 phase: FaultPhase::Parse,
                                 path: rf.path.clone(),
@@ -255,8 +280,11 @@ impl Assessment {
                 }
             }
         }
+        note_phase_overrun(&mut log, FaultPhase::Parse, parse_start, &budgets);
+        drop(phase_span);
 
         // Phase 2: checkers, isolated per rule.
+        let phase_span = adsafe_trace::span("phase.checks", "phase");
         let cx = set.context();
         let checks = default_checks();
         let checks_start = Instant::now();
@@ -296,11 +324,11 @@ impl Assessment {
                 }),
             }
         }
-        diagnostics.sort_by_key(|d| (d.check_id, d.span.file, d.span.start));
         // Macro naming runs from PpInfo (outside the Check trait),
         // isolated per file.
         for (id, _, parsed) in set.parsed() {
             match catch_unwind(AssertUnwindSafe(|| {
+                let _sp = adsafe_trace::span("check.naming-macro", "checks");
                 adsafe_checkers::naming::check_macros(&parsed.pp)
             })) {
                 Ok(diags) => diagnostics.extend(diags),
@@ -313,9 +341,17 @@ impl Assessment {
                 }),
             }
         }
+        // One canonical order for the *complete* list — including the
+        // macro findings appended above — so repeated runs over the
+        // same corpus render byte-identical reports.
+        diagnostics.sort_by_key(|d| (d.check_id, d.span.file, d.span.start));
+        adsafe_trace::counter("checks.diagnostics").add(diagnostics.len() as u64);
+        note_phase_overrun(&mut log, FaultPhase::Checks, checks_start, &budgets);
+        drop(phase_span);
 
         // Phase 3: module metrics, isolated per module, with token-only
         // fallback so a module never vanishes from Figure 3.
+        let phase_span = adsafe_trace::span("phase.metrics", "phase");
         let metrics_start = Instant::now();
         let mut modules: Vec<ModuleMetrics> = Vec::new();
         for m in cx.modules() {
@@ -363,8 +399,12 @@ impl Assessment {
             }
         }
 
+        note_phase_overrun(&mut log, FaultPhase::Metrics, metrics_start, &budgets);
+        drop(phase_span);
+
         // Phase 4: evidence assembly and compliance judgement, with a
         // conservative-default fallback (critical fault) if it panics.
+        let phase_span = adsafe_trace::span("phase.assess", "phase");
         let unit = catch_unwind(AssertUnwindSafe(|| {
             failpoints::hit("pipeline::assess");
             adsafe_checkers::unit_design_stats(&cx)
@@ -419,6 +459,15 @@ impl Assessment {
                 Vec::new()
             });
 
+        drop(phase_span);
+        drop(run_span);
+        let events = adsafe_trace::drain_from(trace_mark);
+        let counters_after = adsafe_trace::counter_snapshot();
+        let trace = TraceSummary::from_events(
+            events,
+            adsafe_trace::counter_delta(&counters_before, &counters_after),
+        );
+
         let degraded = log.degrades_report();
         AssessmentReport {
             evidence,
@@ -428,6 +477,7 @@ impl Assessment {
             diagnostics,
             faults: log,
             degraded,
+            trace,
         }
     }
 
@@ -540,6 +590,38 @@ impl Assessment {
             coverage: self.options.coverage,
         }
     }
+}
+
+/// Records how far past its budget a phase actually ran.
+///
+/// `Budgets::exceeded` is only consulted *between* items, so a slow
+/// item can carry a phase well past its deadline without any record of
+/// the magnitude. This notes the overrun as a `{phase}.budget.overrun_ms`
+/// counter and a `Timeout`-severity fault comparing actual against
+/// budgeted milliseconds. `Timeout` sits below `Degraded`, so the
+/// report's evidence is not marked degraded by the note alone.
+fn note_phase_overrun(
+    log: &mut FaultLog,
+    phase: FaultPhase,
+    phase_start: Instant,
+    budgets: &Budgets,
+) {
+    let Some(deadline) = budgets.phase_deadline else { return };
+    let elapsed = phase_start.elapsed();
+    if elapsed <= deadline {
+        return;
+    }
+    let budget_ms = deadline.as_millis() as u64;
+    let actual_ms = elapsed.as_millis() as u64;
+    adsafe_trace::counter(&format!("{}.budget.overrun_ms", phase.name()))
+        .add(actual_ms.saturating_sub(budget_ms));
+    log.push(Fault {
+        phase,
+        path: format!("{}-phase-budget", phase.name()),
+        severity: FaultSeverity::Timeout,
+        cause: FaultCause::DeadlineOverrun { budget_ms, actual_ms },
+        recovery: Recovery::Noted,
+    });
 }
 
 /// An injected failpoint panic keeps its identity in the fault log.

@@ -152,6 +152,33 @@ pub fn full_report_markdown(report: &AssessmentReport) -> String {
         out.push('\n');
         out.push_str(&fault_summary(report));
     }
+    out.push('\n');
+    out.push_str(&trace_summary(report));
+    out
+}
+
+/// Renders the run's self-observability digest: per-phase wall time,
+/// the top-10 slowest files, and the top-10 slowest checker rules.
+pub fn trace_summary(report: &AssessmentReport) -> String {
+    let t = &report.trace;
+    let mut out = String::new();
+    out.push_str("## Trace summary\n\n");
+    out.push_str(&format!("- total wall time: {:.1} ms\n", t.total_us as f64 / 1000.0));
+    for p in &t.phases {
+        out.push_str(&format!("- phase {}: {:.1} ms\n", p.name, p.wall_us as f64 / 1000.0));
+    }
+    if !t.slowest_files.is_empty() {
+        out.push_str("\n### Slowest files\n\n| File | Time (ms) |\n|---|---|\n");
+        for (path, us) in &t.slowest_files {
+            out.push_str(&format!("| `{path}` | {:.2} |\n", *us as f64 / 1000.0));
+        }
+    }
+    if !t.slowest_rules.is_empty() {
+        out.push_str("\n### Slowest rules\n\n| Rule | Time (ms) |\n|---|---|\n");
+        for (rule, us) in &t.slowest_rules {
+            out.push_str(&format!("| `{rule}` | {:.2} |\n", *us as f64 / 1000.0));
+        }
+    }
     out
 }
 

@@ -150,13 +150,36 @@ impl<'p> Interp<'p> {
     }
 
     /// Calls `name` with `args`, returning its value.
+    ///
+    /// Each *top-level* call (interpreted calls nest through here too)
+    /// runs under a `coverage.interp.call` trace span; the primitive
+    /// steps it executed — nested calls included — land in the
+    /// `coverage.interp.steps` counter and the
+    /// `coverage.interp.steps_per_call` histogram.
     pub fn call(&mut self, name: &str, args: Vec<Value>) -> IResult<Value> {
+        let top_level = self.depth == 0;
+        let _sp = if top_level {
+            Some(adsafe_trace::span_with(
+                "coverage.interp.call",
+                "coverage",
+                vec![("fn", name.to_string())],
+            ))
+        } else {
+            None
+        };
+        let steps_before = self.steps;
         let func = self
             .program
             .function(name)
             .cloned()
             .ok_or_else(|| InterpError::UnknownFunction(name.to_string()))?;
-        self.call_function(&func, args)
+        let result = self.call_function(&func, args);
+        if top_level {
+            let steps = self.steps - steps_before;
+            adsafe_trace::counter("coverage.interp.steps").add(steps);
+            adsafe_trace::histogram("coverage.interp.steps_per_call").record(steps);
+        }
+        result
     }
 
     fn tick(&mut self) -> IResult<()> {

@@ -43,7 +43,10 @@ impl GemmTuner {
             return t;
         }
         let t = match self.mode {
-            TuneMode::CostModel => self.cost_model_tile(m, n, k),
+            TuneMode::CostModel => {
+                adsafe_trace::counter("gpu.autotune.tuned_shapes").incr();
+                self.cost_model_tile(m, n, k)
+            }
             TuneMode::Measure => self.measure_tile(m, n, k),
         };
         self.cache.insert((m, n, k), t);
@@ -80,6 +83,12 @@ impl GemmTuner {
     }
 
     fn measure_tile(&self, m: usize, n: usize, k: usize) -> usize {
+        let _sp = adsafe_trace::span_with(
+            "gpu.autotune.measure",
+            "gpu",
+            vec![("shape", format!("{m}x{n}x{k}"))],
+        );
+        adsafe_trace::counter("gpu.autotune.tuned_shapes").incr();
         // Time candidates on a synthetic input of the right shape.
         let a: Vec<f32> = (0..m * k).map(|i| (i % 13) as f32).collect();
         let b: Vec<f32> = (0..k * n).map(|i| (i % 7) as f32).collect();

@@ -22,6 +22,9 @@ where
 {
     let grid = grid.into();
     let block = block.into();
+    let _sp = adsafe_trace::span("gpu.launch", "gpu");
+    adsafe_trace::counter("gpu.launch.launches").incr();
+    adsafe_trace::counter("gpu.launch.threads").add(grid.count() * block.count());
     for b in grid.iter() {
         for t in block.iter() {
             let ctx = ThreadCtx { block_idx: b, thread_idx: t, block_dim: block, grid_dim: grid };
@@ -158,6 +161,9 @@ where
 {
     let grid = grid.into();
     let block = block.into();
+    let _sp = adsafe_trace::span("gpu.launch_phased", "gpu");
+    adsafe_trace::counter("gpu.launch.launches").incr();
+    let barrier_waits = adsafe_trace::counter("gpu.launch.barrier_phases");
     let mut stats = PhasedStats::default();
     for b in grid.iter() {
         let mut shared = make_shared();
@@ -178,6 +184,8 @@ where
             if continuing == 0 {
                 break;
             }
+            // Threads held at the barrier between phases.
+            barrier_waits.add(continuing);
             if exited > 0 {
                 return Err(LaunchFault::BarrierDivergence {
                     block: b,

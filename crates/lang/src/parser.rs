@@ -25,9 +25,23 @@ pub struct ParsedFile {
 
 /// Preprocesses, lexes, and parses `src` as the contents of `file`.
 pub fn parse_source(file: FileId, src: &str) -> ParsedFile {
-    let pre = preprocess(file, src);
-    let toks = lex(file, &pre.text);
-    let unit = Parser::new(file, &pre.text, &toks).parse_unit();
+    let _sp = adsafe_trace::span("parse.unit", "parse");
+    let pre = {
+        let _s = adsafe_trace::span("parse.preprocess", "parse");
+        preprocess(file, src)
+    };
+    let toks = {
+        let _s = adsafe_trace::span("parse.lex", "parse");
+        lex(file, &pre.text)
+    };
+    adsafe_trace::counter("parse.lexer.tokens").add(toks.len() as u64);
+    let unit = {
+        let _s = adsafe_trace::span("parse.syntax", "parse");
+        Parser::new(file, &pre.text, &toks).parse_unit()
+    };
+    if unit.recovery_count > 0 {
+        adsafe_trace::counter("parse.parser.resyncs").add(unit.recovery_count as u64);
+    }
     ParsedFile { unit, pp: pre.info }
 }
 

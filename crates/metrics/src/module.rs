@@ -50,6 +50,12 @@ impl ModuleMetrics {
 
 /// Computes module metrics over `(file, unit)` pairs belonging to one module.
 pub fn module_metrics(name: &str, files: &[(&SourceFile, &TranslationUnit)]) -> ModuleMetrics {
+    let _sp = adsafe_trace::span_with(
+        "metrics.module",
+        "metrics",
+        vec![("module", name.to_string())],
+    );
+    adsafe_trace::counter("metrics.module.files").add(files.len() as u64);
     let mut loc = LocCounts::default();
     let mut functions = Vec::new();
     let mut histogram = ComplexityHistogram::default();

@@ -1,0 +1,54 @@
+//! # adsafe-trace — self-observability for the assessment toolchain
+//!
+//! The paper's assessment is a measurement exercise (Lizard metrics,
+//! RapiCover coverage, cuda4cpu timing); this crate lets the toolchain
+//! measure *itself*. Zero dependencies, std only.
+//!
+//! Three layers:
+//!
+//! * **Spans** ([`span`], [`span_with`]) — hierarchical wall-clock spans
+//!   with RAII guards over thread-local span stacks. Closed spans are
+//!   buffered per thread; [`mark`]/[`drain_from`] scope collection to
+//!   one run. Exportable as Chrome trace-event JSON ([`chrome`]) —
+//!   loadable in `chrome://tracing` / Perfetto — or as an in-terminal
+//!   flame summary ([`flame`]).
+//! * **Metrics** ([`counter`], [`histogram`]) — a global registry of
+//!   named monotonic counters (lock-free increments) and log₂-scale
+//!   histograms. Names follow the `phase.component.metric` convention
+//!   (see DESIGN.md §7).
+//! * **Summaries** ([`TraceSummary`]) — per-phase wall time, slowest
+//!   files and rules, and counter deltas distilled from one run's
+//!   events; [`bench`] serialises phase timings as the
+//!   `BENCH_pipeline.json` perf baseline CI regresses against.
+//!
+//! ```
+//! let m = adsafe_trace::mark();
+//! {
+//!     let _outer = adsafe_trace::span("phase.parse", "phase");
+//!     let _inner = adsafe_trace::span("parse.file", "parse");
+//! }
+//! let events = adsafe_trace::drain_from(m);
+//! assert_eq!(events.len(), 2);
+//! // Inner spans close (and are recorded) first.
+//! assert_eq!(events[0].name, "parse.file");
+//! assert_eq!(events[1].depth, 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod chrome;
+pub mod flame;
+pub mod json;
+pub mod metrics;
+pub mod span;
+pub mod summary;
+
+pub use metrics::{
+    counter, counter_delta, counter_snapshot, histogram, histogram_snapshot, Counter, Histogram,
+    HistogramSnapshot,
+};
+pub use span::{
+    drain_from, enabled, mark, now_us, set_enabled, span, span_with, SpanEvent, SpanGuard,
+};
+pub use summary::{PhaseTime, TraceSummary};

@@ -1,0 +1,255 @@
+//! Global registry of named counters and log₂-scale histograms.
+//!
+//! Counters are monotonic `AtomicU64`s: increments from any number of
+//! worker threads are lock-free and never lose updates. The registry
+//! itself is a mutex-guarded map consulted only on first lookup of a
+//! name; callers on hot paths hold the returned [`Counter`] handle.
+//!
+//! Metric names follow the `phase.component.metric` convention
+//! (`parse.lexer.tokens`, `gpu.launch.barrier_phases`, …); snapshots
+//! are returned sorted by name so rendered output is deterministic.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log₂ buckets: values up to 2⁶³ land in a bucket.
+const BUCKETS: usize = 64;
+
+/// A histogram with log₂-scale buckets (bucket *b* counts values whose
+/// bit length is *b*, i.e. `2^(b-1) ≤ v < 2^b`; bucket 0 counts zeros).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one value.
+    pub fn record(&self, v: u64) {
+        let b = (u64::BITS - v.leading_zeros()) as usize; // bit length; 0 for v == 0
+        self.buckets[b.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Immutable copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (bucket *b* ⇔ bit length *b*).
+    pub buckets: [u64; BUCKETS],
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 { 0.0 } else { self.sum as f64 / self.count as f64 }
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile (`q` in 0..=1).
+    /// Log-scale resolution: the answer is exact to within 2×.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return if b == 0 { 0 } else { (1u64 << b).saturating_sub(1) };
+            }
+        }
+        u64::MAX
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// The counter named `name`, creating it on first use. Hold the handle
+/// on hot paths rather than re-looking it up per increment.
+pub fn counter(name: &str) -> Arc<Counter> {
+    let mut map = registry().counters.lock().expect("counter registry poisoned");
+    match map.get(name) {
+        Some(c) => Arc::clone(c),
+        None => {
+            let c = Arc::new(Counter::default());
+            map.insert(name.to_string(), Arc::clone(&c));
+            c
+        }
+    }
+}
+
+/// The histogram named `name`, creating it on first use.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    let mut map = registry().histograms.lock().expect("histogram registry poisoned");
+    match map.get(name) {
+        Some(h) => Arc::clone(h),
+        None => {
+            let h = Arc::new(Histogram::default());
+            map.insert(name.to_string(), Arc::clone(&h));
+            h
+        }
+    }
+}
+
+/// All counters and their current values, sorted by name.
+pub fn counter_snapshot() -> BTreeMap<String, u64> {
+    let map = registry().counters.lock().expect("counter registry poisoned");
+    map.iter().map(|(k, v)| (k.clone(), v.get())).collect()
+}
+
+/// All histograms' snapshots, sorted by name.
+pub fn histogram_snapshot() -> BTreeMap<String, HistogramSnapshot> {
+    let map = registry().histograms.lock().expect("histogram registry poisoned");
+    map.iter().map(|(k, v)| (k.clone(), v.snapshot())).collect()
+}
+
+/// Per-counter increase from `before` to `after` (new counters count
+/// from zero); zero deltas are omitted. Counters are global, so in a
+/// multi-threaded process the delta attributes concurrent increments
+/// from other runs to this window — treat it as best-effort.
+pub fn counter_delta(
+    before: &BTreeMap<String, u64>,
+    after: &BTreeMap<String, u64>,
+) -> Vec<(String, u64)> {
+    after
+        .iter()
+        .filter_map(|(k, &v)| {
+            let delta = v.saturating_sub(before.get(k).copied().unwrap_or(0));
+            (delta > 0).then(|| (k.clone(), delta))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let c = counter("test.metrics.counter_a");
+        let base = c.get();
+        c.add(3);
+        c.incr();
+        assert_eq!(c.get(), base + 4);
+        // Same name → same counter.
+        assert_eq!(counter("test.metrics.counter_a").get(), base + 4);
+    }
+
+    #[test]
+    fn concurrent_increments_never_lose_updates() {
+        let name = "test.metrics.concurrent";
+        let base = counter(name).get();
+        let threads = 8;
+        let per_thread = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let c = counter(name);
+                    for _ in 0..per_thread {
+                        c.incr();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter(name).get(), base + threads as u64 * per_thread);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let h = Histogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1030);
+        assert_eq!(s.buckets[0], 1); // 0
+        assert_eq!(s.buckets[1], 1); // 1
+        assert_eq!(s.buckets[2], 2); // 2, 3
+        assert_eq!(s.buckets[11], 1); // 1024
+        assert!(s.mean() > 200.0);
+        assert_eq!(s.quantile_bound(0.5), 3);
+        assert_eq!(s.quantile_bound(1.0), 2047);
+    }
+
+    #[test]
+    fn delta_reports_only_changes() {
+        let before = counter_snapshot();
+        counter("test.metrics.delta").add(7);
+        let after = counter_snapshot();
+        let d = counter_delta(&before, &after);
+        assert!(d.iter().any(|(k, v)| k == "test.metrics.delta" && *v >= 7));
+    }
+}

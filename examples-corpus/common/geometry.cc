@@ -1,0 +1,12 @@
+// Shared geometry helpers: a clean unit, the baseline the degraded
+// files are judged against.
+#include "geometry.h"
+
+double Interpolate(double a, double b, double t) {
+  double tt = clamp01(t);
+  return a + (b - a) * tt;
+}
+
+double Dot(struct Vec2 u, struct Vec2 v) {
+  return u.x * v.x + u.y * v.y;
+}

@@ -1,0 +1,10 @@
+// Shared geometry helpers. Lower-case macro name and no include
+// guard: both style findings.
+#define clamp01(x) ((x) < 0.0 ? 0.0 : ((x) > 1.0 ? 1.0 : (x)))
+
+double Interpolate(double a, double b, double t);
+
+struct Vec2 {
+  double x;
+  double y;
+};

@@ -1,0 +1,15 @@
+// PID controller: clamping with early returns and an implicit
+// float-to-int narrowing in the output path.
+static double s_integral;
+
+int ClampOutput(double v) {
+  if (v > 100.0) return 100;
+  if (v < -100.0) return -100;
+  return v;
+}
+
+int PidStep(double error, double kp, double ki) {
+  s_integral = s_integral + error;
+  double out = kp * error + ki * s_integral;
+  return ClampOutput(out);
+}

@@ -1,0 +1,23 @@
+/* Watchdog: goto-based cleanup and a variadic logger, both MISRA
+ * findings the checker set must flag. */
+#include <stdarg.h>
+#include <stdlib.h>
+
+int log_event(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_end(ap);
+  return 0;
+}
+
+int arm_watchdog(int timeout_ms) {
+  char* buf = (char*)malloc(64);
+  if (buf == 0) goto fail;
+  if (timeout_ms <= 0) goto fail;
+  log_event("armed %d", timeout_ms);
+  free(buf);
+  return 0;
+fail:
+  free(buf);
+  return -1;
+}

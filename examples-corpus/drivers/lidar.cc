@@ -1,0 +1,16 @@
+// Lidar packet decoding: unchecked return values and dynamic
+// allocation on the hot path.
+#include <stdlib.h>
+
+int ReadPacket(unsigned char* dst, int len);
+
+int DecodeSweep(int beams) {
+  unsigned char* scratch = (unsigned char*)malloc(beams * 4);
+  ReadPacket(scratch, beams * 4);
+  int sum = 0;
+  for (int i = 0; i < beams; i = i + 1) {
+    sum = sum + scratch[i * 4];
+  }
+  free(scratch);
+  return sum;
+}

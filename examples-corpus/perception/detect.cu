@@ -1,0 +1,22 @@
+// Detection post-processing kernel: pointer parameters, device
+// memory management, and a closed-source library call.
+#include <cublas_v2.h>
+
+__global__ void ScaleBias(float* out, const float* in, float scale, float bias, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    out[i] = in[i] * scale + bias;
+  }
+}
+
+void RunDetection(float* host_in, float* host_out, int n) {
+  float* d_in;
+  float* d_out;
+  cudaMalloc((void**)&d_in, n * sizeof(float));
+  cudaMalloc((void**)&d_out, n * sizeof(float));
+  cudaMemcpy(d_in, host_in, n * sizeof(float), cudaMemcpyHostToDevice);
+  ScaleBias<<<(n + 255) / 256, 256>>>(d_out, d_in, 0.0039f, 0.0f, n);
+  cudaMemcpy(host_out, d_out, n * sizeof(float), cudaMemcpyDeviceToHost);
+  cudaFree(d_in);
+  cudaFree(d_out);
+}

@@ -1,0 +1,21 @@
+// Object tracker update step: deliberately carries the paper's
+// headline findings (global state, explicit casts, multiple exits).
+int g_track_count;
+int g_lost_count;
+
+int UpdateTrack(int* state, int delta) {
+  if (state == 0) return -1;
+  if (delta < 0) {
+    g_lost_count = g_lost_count + 1;
+    return -2;
+  }
+  g_track_count = g_track_count + 1;
+  *state = *state + delta;
+  return (int)(*state * 1.5f);
+}
+
+int TrackAge(int birth_frame, int current_frame) {
+  int age = current_frame - birth_frame;
+  if (age < 0) return 0;
+  return age;
+}

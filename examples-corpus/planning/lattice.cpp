@@ -1,0 +1,18 @@
+// Lattice sampler: union type punning (MISRA 19.2) and octal literal
+// (MISRA 7.1).
+union PointBits {
+  float f;
+  int bits;
+};
+
+int QuantizeHeading(float heading) {
+  union PointBits pb;
+  pb.f = heading;
+  int mask = 0777;
+  return pb.bits & mask;
+}
+
+float SampleOffset(int lane, int sample) {
+  float width = 3.5f;
+  return (float)lane * width + (float)sample * 0.5f;
+}

@@ -1,0 +1,21 @@
+// Route cost search: recursion (MISRA 17.2) and a switch with a
+// missing default (MISRA 16.4).
+int RouteCost(int depth, int branch) {
+  if (depth <= 0) {
+    return 0;
+  }
+  return branch + RouteCost(depth - 1, branch);
+}
+
+int ManeuverPenalty(int kind) {
+  int penalty = 0;
+  switch (kind) {
+    case 0:
+      penalty = 1;
+      break;
+    case 1:
+      penalty = 5;
+      break;
+  }
+  return penalty;
+}
