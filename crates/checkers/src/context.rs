@@ -38,6 +38,21 @@ impl<'a> CheckContext<'a> {
         CheckContext { sm, entries, graph, global_names }
     }
 
+    /// A context over a single file, with no cross-file state (empty
+    /// call graph, empty global-name set). This is what the parallel
+    /// pipeline hands to [`CheckScope::File`](crate::CheckScope::File)
+    /// rules when sharding (rule × file): file-scoped rules only look
+    /// at `entries`, so skipping graph/global derivation keeps shards
+    /// cheap. Program-scoped rules must never see one of these.
+    pub fn file_local(sm: &'a SourceMap, entry: FileEntry<'a>) -> Self {
+        CheckContext {
+            sm,
+            entries: vec![entry],
+            graph: CallGraph::default(),
+            global_names: HashSet::new(),
+        }
+    }
+
     /// Iterates `(entry, function)` over every function definition.
     pub fn functions(
         &self,
@@ -71,7 +86,9 @@ impl<'a> CheckContext<'a> {
 pub struct AnalysisSet {
     /// The source map.
     pub sm: SourceMap,
-    parsed: Vec<(adsafe_lang::FileId, String, adsafe_lang::ParsedFile)>,
+    // Module names are interned: one shared `Arc<str>` per module
+    // instead of one `String` clone per file in the hot add loop.
+    parsed: Vec<(adsafe_lang::FileId, std::sync::Arc<str>, adsafe_lang::ParsedFile)>,
 }
 
 impl AnalysisSet {
@@ -84,7 +101,7 @@ impl AnalysisSet {
     pub fn add(&mut self, module: &str, path: &str, text: &str) {
         let id = self.sm.add_file(path, text);
         let parsed = adsafe_lang::parse_source(id, self.sm.file(id).text());
-        self.parsed.push((id, module.to_string(), parsed));
+        self.parsed.push((id, adsafe_lang::intern::intern(module), parsed));
     }
 
     /// Adds a file whose parse the caller performed itself (for example
@@ -95,7 +112,7 @@ impl AnalysisSet {
         id: adsafe_lang::FileId,
         parsed: adsafe_lang::ParsedFile,
     ) {
-        self.parsed.push((id, module.to_string(), parsed));
+        self.parsed.push((id, adsafe_lang::intern::intern(module), parsed));
     }
 
     /// Builds the check context over everything added so far.
@@ -114,7 +131,7 @@ impl AnalysisSet {
 
     /// Access to the parsed files (id, module, parse result).
     pub fn parsed(&self) -> impl Iterator<Item = (&adsafe_lang::FileId, &str, &adsafe_lang::ParsedFile)> {
-        self.parsed.iter().map(|(id, m, p)| (id, m.as_str(), p))
+        self.parsed.iter().map(|(id, m, p)| (id, &**m, p))
     }
 }
 

@@ -182,19 +182,42 @@ impl Check for UncheckedCallCheck {
     }
 }
 
+/// Per-function input-validation facts, cacheable per file: whether the
+/// function has named parameters at all and whether it tests at least
+/// one of them. [`validation_ratio`] is their aggregation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ValidationFacts {
+    /// The function has at least one named parameter.
+    pub has_named_params: bool,
+    /// At least one named parameter appears in a condition/assertion.
+    pub validates: bool,
+}
+
+/// Measures [`ValidationFacts`] for one function.
+pub fn validation_facts(f: &FunctionDef) -> ValidationFacts {
+    let names: Vec<&str> = f.sig.params.iter().filter_map(|p| p.name.as_deref()).collect();
+    if names.is_empty() {
+        return ValidationFacts::default();
+    }
+    let tested = condition_tested_names(f);
+    ValidationFacts {
+        has_named_params: true,
+        validates: names.iter().any(|n| tested.contains(*n)),
+    }
+}
+
 /// Summary statistic: fraction of functions that validate at least one of
 /// their parameters (the paper reports defensive programming is absent).
 pub fn validation_ratio(cx: &CheckContext<'_>) -> f64 {
     let mut with_params = 0usize;
     let mut validating = 0usize;
     for (_, f) in cx.functions() {
-        let names: Vec<&str> = f.sig.params.iter().filter_map(|p| p.name.as_deref()).collect();
-        if names.is_empty() {
+        let v = validation_facts(f);
+        if !v.has_named_params {
             continue;
         }
         with_params += 1;
-        let tested = condition_tested_names(f);
-        if names.iter().any(|n| tested.contains(*n)) {
+        if v.validates {
             validating += 1;
         }
     }

@@ -62,6 +62,9 @@ impl Check for GlobalUseCheck {
     fn iso_refs(&self) -> &'static [&'static str] {
         &["Part6.Table1.Row5"]
     }
+    fn scope(&self) -> crate::CheckScope {
+        crate::CheckScope::Program
+    }
     fn run(&self, cx: &CheckContext<'_>) -> Vec<Diagnostic> {
         let mut out = Vec::new();
         for (_, f) in cx.functions() {

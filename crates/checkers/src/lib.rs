@@ -38,6 +38,19 @@ pub use context::{AnalysisSet, CheckContext, FileEntry};
 pub use diag::{Diagnostic, Severity};
 pub use unit_design::{unit_design_stats, UnitDesignStats};
 
+/// How much of the program a rule needs to see.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckScope {
+    /// The rule only reads `cx.entries` — it can run over a
+    /// [`CheckContext::file_local`] context, one file at a time, which
+    /// is what lets the parallel pipeline shard it (rule × file) and
+    /// cache its diagnostics per file.
+    File,
+    /// The rule reads cross-file state (`cx.graph`,
+    /// `cx.global_names`) and must see the whole program at once.
+    Program,
+}
+
 /// A static-analysis rule.
 ///
 /// Checks are stateless: all inputs come from the [`CheckContext`], all
@@ -54,6 +67,10 @@ pub trait Check: Send + Sync {
     fn iso_refs(&self) -> &'static [&'static str];
     /// Runs the rule over the context.
     fn run(&self, cx: &CheckContext<'_>) -> Vec<Diagnostic>;
+    /// How much of the program the rule needs (default: one file).
+    fn scope(&self) -> CheckScope {
+        CheckScope::File
+    }
 }
 
 /// The full default rule set, in a stable order.
@@ -185,6 +202,43 @@ mod tests {
         ids.dedup();
         assert_eq!(ids.len(), before, "duplicate check ids");
         assert!(before >= 25, "expected a substantial rule set, got {before}");
+    }
+
+    #[test]
+    fn only_graph_and_global_rules_are_program_scoped() {
+        let program: Vec<&str> = default_checks()
+            .iter()
+            .filter(|c| c.scope() == CheckScope::Program)
+            .map(|c| c.id())
+            .collect();
+        assert_eq!(program, ["misra-17.2-recursion", "design-global-use"]);
+    }
+
+    #[test]
+    fn file_scoped_rules_agree_with_file_local_contexts() {
+        // Running a File-scoped rule over per-file contexts and
+        // concatenating must equal running it over the full context —
+        // the invariant (rule × file) sharding rests on.
+        let mut set = AnalysisSet::new();
+        set.add(
+            "m",
+            "a.cc",
+            "int g;\nint f(int* p) { if (*p) goto x; x: return (int)1.5; }\n",
+        );
+        set.add("m", "b.cc", "void helper(float* q) { *q = 1.0f; }\n");
+        let cx = set.context();
+        for check in default_checks() {
+            if check.scope() != CheckScope::File {
+                continue;
+            }
+            let whole = check.run(&cx);
+            let sharded: Vec<Diagnostic> = cx
+                .entries
+                .iter()
+                .flat_map(|e| check.run(&CheckContext::file_local(cx.sm, *e)))
+                .collect();
+            assert_eq!(whole, sharded, "rule {} is not file-local", check.id());
+        }
     }
 
     #[test]

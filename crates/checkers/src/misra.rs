@@ -102,6 +102,9 @@ impl Check for RecursionCheck {
     fn iso_refs(&self) -> &'static [&'static str] {
         &["Part6.Table8.Row10"]
     }
+    fn scope(&self) -> crate::CheckScope {
+        crate::CheckScope::Program
+    }
     fn run(&self, cx: &CheckContext<'_>) -> Vec<Diagnostic> {
         let recursive = cx.graph.recursive_functions();
         let mut out = Vec::new();

@@ -65,6 +65,62 @@ impl UnitDesignStats {
     }
 }
 
+/// The per-function slice of [`UnitDesignStats`]: everything that can
+/// be measured from one function body alone, with no cross-file
+/// context. The incremental pipeline extracts these once per file and
+/// caches them; [`unit_design_stats`] is their aggregation plus the
+/// cross-file parts (recursion via the call graph, implicit
+/// conversions, file-level globals/opaque regions).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FunctionUnitFacts {
+    /// Row 3: reads of possibly-uninitialised locals.
+    pub maybe_uninit_reads: usize,
+    /// Row 4: declarations shadowing an outer binding.
+    pub shadowed_declarations: usize,
+    /// Row 6: pointer operations (params, derefs, arrow access, local
+    /// pointer declarations).
+    pub pointer_uses: usize,
+    /// Row 2: dynamic allocation/deallocation sites.
+    pub dynamic_alloc_sites: usize,
+    /// Row 8 contribution: opaque statements inside the body.
+    pub opaque_stmts: usize,
+}
+
+/// Measures the file-independent Table 8 contributions of one function.
+pub fn function_unit_facts(f: &adsafe_lang::ast::FunctionDef) -> FunctionUnitFacts {
+    let mut u = FunctionUnitFacts::default();
+    let syms = analyze_function(f);
+    u.maybe_uninit_reads = syms.maybe_uninit_reads.len();
+    u.shadowed_declarations = syms.shadow_count;
+
+    u.pointer_uses += f.sig.params.iter().filter(|p| p.ty.is_pointer_like()).count();
+    walk_exprs(f, |x| match &x.kind {
+        ExprKind::Unary { op: adsafe_lang::ast::UnOp::Deref, .. }
+        | ExprKind::Member { arrow: true, .. } => u.pointer_uses += 1,
+        ExprKind::New { .. } | ExprKind::Delete { .. } => u.dynamic_alloc_sites += 1,
+        ExprKind::Call { .. } => {
+            if let Some(name) = x.callee_name() {
+                if crate::misra::DYNAMIC_MEMORY_FNS.contains(&name) {
+                    u.dynamic_alloc_sites += 1;
+                }
+            }
+        }
+        _ => {}
+    });
+    walk_stmts(f, |st| {
+        if matches!(st.kind, StmtKind::Decl(_)) {
+            // Local pointer declarations also count as pointer use.
+            if let StmtKind::Decl(vars) = &st.kind {
+                u.pointer_uses += vars.iter().filter(|v| v.ty.is_pointer_like()).count();
+            }
+        }
+        if matches!(st.kind, StmtKind::Opaque) {
+            u.opaque_stmts += 1;
+        }
+    });
+    u
+}
+
 /// Measures [`UnitDesignStats`] over every file in the context.
 pub fn unit_design_stats(cx: &CheckContext<'_>) -> UnitDesignStats {
     let mut s = UnitDesignStats::default();
@@ -93,36 +149,12 @@ pub fn unit_design_stats(cx: &CheckContext<'_>) -> UnitDesignStats {
         if recursive.contains(&f.sig.qualified_name) {
             s.recursive_functions += 1;
         }
-        let syms = analyze_function(f);
-        s.maybe_uninit_reads += syms.maybe_uninit_reads.len();
-        s.shadowed_declarations += syms.shadow_count;
-
-        s.pointer_uses += f.sig.params.iter().filter(|p| p.ty.is_pointer_like()).count();
-        walk_exprs(f, |x| match &x.kind {
-            ExprKind::Unary { op: adsafe_lang::ast::UnOp::Deref, .. }
-            | ExprKind::Member { arrow: true, .. } => s.pointer_uses += 1,
-            ExprKind::New { .. } | ExprKind::Delete { .. } => s.dynamic_alloc_sites += 1,
-            ExprKind::Call { .. } => {
-                if let Some(name) = x.callee_name() {
-                    if crate::misra::DYNAMIC_MEMORY_FNS.contains(&name) {
-                        s.dynamic_alloc_sites += 1;
-                    }
-                }
-            }
-            _ => {}
-        });
-        walk_stmts(f, |st| {
-            if matches!(st.kind, StmtKind::Decl(_)) {
-                // Local pointer declarations also count as pointer use.
-                if let StmtKind::Decl(vars) = &st.kind {
-                    s.pointer_uses +=
-                        vars.iter().filter(|v| v.ty.is_pointer_like()).count();
-                }
-            }
-            if matches!(st.kind, StmtKind::Opaque) {
-                s.opaque_regions += 1;
-            }
-        });
+        let u = function_unit_facts(f);
+        s.maybe_uninit_reads += u.maybe_uninit_reads;
+        s.shadowed_declarations += u.shadowed_declarations;
+        s.pointer_uses += u.pointer_uses;
+        s.dynamic_alloc_sites += u.dynamic_alloc_sites;
+        s.opaque_regions += u.opaque_stmts;
     }
     s
 }

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! adsafe assess <dir> [--asil A|B|C|D] [--report out.md] [--diagnostics]
+//!                     [--jobs N] [--no-cache]
 //!                     [--trace-out t.json] [--profile] [-v] [-q]
 //! adsafe check <file> [<file>...]          # rule findings only
 //! adsafe tables                            # print the Part-6 tables
@@ -12,6 +13,14 @@
 //!
 //! Files are grouped into modules by their top-level directory, mirroring
 //! how the paper treats Apollo's module tree.
+//!
+//! Performance flags (see DESIGN.md §8): `--jobs N` fans the parse,
+//! checks, and metrics phases out over N work-stealing workers (`0` =
+//! one per core; default `0` for `assess`), and the incremental facts
+//! cache at `<dir>/.adsafe-cache/` — on by default, disabled with
+//! `--no-cache` — lets warm runs skip parse, file-local checks, and
+//! metrics extraction for unchanged files. Reports are byte-identical
+//! either way.
 //!
 //! Observability flags (see DESIGN.md §7): `--trace-out` writes the
 //! run's spans as Chrome trace-event JSON (loadable in
@@ -56,10 +65,11 @@ fn main() {
         _ => {
             eprintln!(
                 "usage:\n  adsafe assess <dir> [--asil A|B|C|D] [--report out.md] [--diagnostics]\n  \
+                 {:17}[--jobs N] [--no-cache]\n  \
                  {:17}[--trace-out t.json] [--profile] [-v] [-q]\n  \
                  adsafe check <file> [<file>...]\n  adsafe tables\n  \
                  adsafe trace-compare <baseline.json> <current.json>",
-                ""
+                "", ""
             );
             EXIT_USAGE
         }
@@ -153,9 +163,22 @@ fn cmd_assess(args: &[String]) -> i32 {
     let mut profile = false;
     let mut verbose = false;
     let mut quiet = false;
+    let mut jobs = 0usize; // 0 = one worker per core
+    let mut use_cache = true;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--jobs" | "-j" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) => jobs = n,
+                    None => {
+                        eprintln!("assess: --jobs needs a worker count (0 = auto)");
+                        return EXIT_USAGE;
+                    }
+                }
+            }
+            "--no-cache" => use_cache = false,
             "--asil" => {
                 i += 1;
                 match args.get(i).and_then(|s| parse_asil(s)) {
@@ -214,8 +237,13 @@ fn cmd_assess(args: &[String]) -> i32 {
         eprintln!("assessing {} files under {dir} at {asil} ...", files.len());
     }
 
-    let mut assessment = Assessment::new()
-        .with_options(AssessmentOptions { asil, ..AssessmentOptions::default() });
+    let cache_dir = use_cache.then(|| root.join(".adsafe-cache"));
+    let mut assessment = Assessment::new().with_options(AssessmentOptions {
+        asil,
+        jobs,
+        cache_dir,
+        ..AssessmentOptions::default()
+    });
     let mut readable = 0usize;
     for f in &files {
         // Raw bytes: non-UTF-8 content is the pipeline's problem (it
@@ -318,7 +346,11 @@ fn print_profile(report: &adsafe::AssessmentReport) {
 
 /// `adsafe trace-compare <baseline.json> <current.json>`: the CI perf
 /// gate. Exits 1 when any phase regresses beyond 2× the baseline
-/// (subject to the noise floor, see `adsafe_trace::bench`).
+/// (subject to the noise floor, see `adsafe_trace::bench`) — or when a
+/// phase present on one side is missing from the other, since a
+/// disappeared phase is a structural change the ratio check would
+/// silently skip over. `pool.*` and `cache.*` counters differ between
+/// serial and parallel runs by design and are never compared.
 fn cmd_trace_compare(args: &[String]) -> i32 {
     let (Some(base_path), Some(cur_path)) = (args.first(), args.get(1)) else {
         eprintln!("trace-compare: need <baseline.json> <current.json>");
@@ -337,9 +369,16 @@ fn cmd_trace_compare(args: &[String]) -> i32 {
             return code;
         }
     };
+    let differences = base.phase_differences(&cur);
+    for d in &differences {
+        println!("DIFFERENCE: {d}");
+    }
     let regressions = base.regressions(&cur, 2.0);
     for r in &regressions {
         println!("REGRESSION: {r}");
+    }
+    if !differences.is_empty() {
+        return EXIT_BLOCKING;
     }
     if regressions.is_empty() {
         println!(

@@ -1,0 +1,246 @@
+//! Incremental artifact cache: per-file [`FileFacts`](crate::facts::FileFacts)
+//! records keyed by content hash, persisted under `.adsafe-cache/`.
+//!
+//! ## Key and invalidation
+//!
+//! An entry's file name is the FNV-1a 64-bit hash of `path + '\0' + text`
+//! (the *post-ingest* text, after lossy UTF-8 replacement — so a byte
+//! change, a rename, or a different lossy decode all miss). The path is
+//! part of the key because some rule messages embed path-derived names
+//! (e.g. the expected include-guard macro).
+//!
+//! The whole cache carries a *fingerprint* in `meta.json`: a hash over
+//! every registered rule id and description, the crate version, and the
+//! facts schema tag. When the fingerprint of the running binary differs
+//! — a rule was added, reworded, or the schema changed — the directory
+//! is wiped and rebuilt rather than partially trusted.
+//!
+//! ## Fault behaviour
+//!
+//! The cache is an accelerator, never a correctness dependency: any I/O
+//! error degrades to a miss, and a syntactically present but unreadable
+//! entry is reported as [`CacheLookup::Corrupt`] so the pipeline can
+//! log a [`crate::FaultCause::CacheCorrupt`] fault and re-analyse from
+//! source. Counters: `cache.hits`, `cache.misses`, `cache.corrupt`,
+//! `cache.stores`.
+
+use crate::facts::{FileFacts, FACTS_SCHEMA};
+use adsafe_lang::FileId;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Result of a cache lookup for one file.
+#[derive(Debug)]
+pub enum CacheLookup {
+    /// A valid entry was found: skip parse, checks, and metrics
+    /// extraction for this file.
+    Hit(FileFacts),
+    /// No entry (or the cache is disabled/unusable).
+    Miss,
+    /// An entry exists but cannot be trusted; the payload says why.
+    Corrupt(String),
+}
+
+/// An open (or soft-failed) on-disk facts cache.
+#[derive(Debug)]
+pub struct FactsCache {
+    dir: PathBuf,
+    usable: bool,
+}
+
+/// FNV-1a 64-bit over `bytes`, seeded with `state` (chainable).
+fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    for &b in bytes {
+        state ^= b as u64;
+        state = state.wrapping_mul(PRIME);
+    }
+    state
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Content-hash key for one file: path and post-ingest text.
+pub fn content_hash(path: &str, text: &str) -> u64 {
+    let h = fnv1a(FNV_OFFSET, path.as_bytes());
+    let h = fnv1a(h, &[0]);
+    fnv1a(h, text.as_bytes())
+}
+
+/// Fingerprint of the analysing build: rule set, crate version, facts
+/// schema. Two builds with equal fingerprints produce interchangeable
+/// facts records.
+pub fn ruleset_fingerprint() -> String {
+    let mut h = FNV_OFFSET;
+    for c in adsafe_checkers::default_checks() {
+        h = fnv1a(h, c.id().as_bytes());
+        h = fnv1a(h, &[0]);
+        h = fnv1a(h, c.description().as_bytes());
+        h = fnv1a(h, b"\n");
+    }
+    h = fnv1a(h, env!("CARGO_PKG_VERSION").as_bytes());
+    h = fnv1a(h, &[0]);
+    h = fnv1a(h, FACTS_SCHEMA.as_bytes());
+    format!("{h:016x}")
+}
+
+impl FactsCache {
+    /// Opens (creating if needed) the cache at `dir`, wiping it when
+    /// the stored fingerprint does not match this build. Never fails:
+    /// an unusable directory degrades every operation to a miss/no-op.
+    pub fn open(dir: &Path) -> FactsCache {
+        let fingerprint = ruleset_fingerprint();
+        if fs::create_dir_all(dir).is_err() {
+            return FactsCache { dir: dir.to_path_buf(), usable: false };
+        }
+        let meta_path = dir.join("meta.json");
+        let stored = fs::read_to_string(&meta_path).ok().and_then(|text| {
+            let v = adsafe_trace::json::Json::parse(&text).ok()?;
+            Some(v.get("fingerprint")?.as_str()?.to_string())
+        });
+        if stored.as_deref() != Some(fingerprint.as_str()) {
+            // Fingerprint changed (or first run): every entry is stale.
+            if let Ok(entries) = fs::read_dir(dir) {
+                for e in entries.flatten() {
+                    if e.path().extension().is_some_and(|x| x == "json") {
+                        let _ = fs::remove_file(e.path());
+                    }
+                }
+            }
+            let mut meta = String::from("{\"schema\":\"adsafe-cache/1\",\"fingerprint\":");
+            adsafe_trace::json::write_escaped(&mut meta, &fingerprint);
+            meta.push('}');
+            if fs::write(&meta_path, meta).is_err() {
+                return FactsCache { dir: dir.to_path_buf(), usable: false };
+            }
+        }
+        FactsCache { dir: dir.to_path_buf(), usable: true }
+    }
+
+    fn entry_path(&self, hash: u64) -> PathBuf {
+        self.dir.join(format!("{hash:016x}.json"))
+    }
+
+    /// Looks up the entry for `hash`, rebinding diagnostic spans to
+    /// `file`. Emits the `cache.hits`/`cache.misses`/`cache.corrupt`
+    /// counter for the outcome.
+    pub fn load(&self, hash: u64, file: FileId) -> CacheLookup {
+        if !self.usable {
+            adsafe_trace::counter("cache.misses").incr();
+            return CacheLookup::Miss;
+        }
+        let path = self.entry_path(hash);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(_) => {
+                adsafe_trace::counter("cache.misses").incr();
+                return CacheLookup::Miss;
+            }
+        };
+        match FileFacts::from_json(&text, file) {
+            Ok(facts) => {
+                adsafe_trace::counter("cache.hits").incr();
+                CacheLookup::Hit(facts)
+            }
+            Err(detail) => {
+                adsafe_trace::counter("cache.corrupt").incr();
+                // Drop the bad entry so the re-analysed facts can be
+                // written back cleanly.
+                let _ = fs::remove_file(&path);
+                CacheLookup::Corrupt(detail)
+            }
+        }
+    }
+
+    /// Writes the entry for `hash` (atomically: temp file + rename).
+    /// Emits `cache.stores` on success; failures are silent — the next
+    /// run simply misses.
+    pub fn store(&self, hash: u64, facts: &FileFacts) {
+        if !self.usable {
+            return;
+        }
+        let tmp = self.dir.join(format!(".tmp-{}-{hash:016x}", std::process::id()));
+        if fs::write(&tmp, facts.to_json()).is_ok()
+            && fs::rename(&tmp, self.entry_path(hash)).is_ok()
+        {
+            adsafe_trace::counter("cache.stores").incr();
+        } else {
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU32 = AtomicU32::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let d = std::env::temp_dir().join(format!(
+            "adsafe-cache-test-{}-{tag}-{n}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn hash_differs_on_path_and_content() {
+        let a = content_hash("a.cc", "int x;");
+        assert_ne!(a, content_hash("b.cc", "int x;"));
+        assert_ne!(a, content_hash("a.cc", "int y;"));
+        assert_eq!(a, content_hash("a.cc", "int x;"));
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let dir = temp_dir("roundtrip");
+        let cache = FactsCache::open(&dir);
+        let facts = FileFacts { recovery_count: 2, ..FileFacts::default() };
+        let h = content_hash("m/a.cc", "text");
+        cache.store(h, &facts);
+        match cache.load(h, FileId(0)) {
+            CacheLookup::Hit(f) => assert_eq!(f, facts),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert!(matches!(
+            cache.load(h ^ 1, FileId(0)),
+            CacheLookup::Miss
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entry_is_reported_and_evicted() {
+        let dir = temp_dir("corrupt");
+        let cache = FactsCache::open(&dir);
+        let h = content_hash("m/a.cc", "text");
+        fs::write(dir.join(format!("{h:016x}.json")), "{not json").unwrap();
+        assert!(matches!(cache.load(h, FileId(0)), CacheLookup::Corrupt(_)));
+        // The bad entry was evicted → second lookup is a plain miss.
+        assert!(matches!(cache.load(h, FileId(0)), CacheLookup::Miss));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_wipes_entries() {
+        let dir = temp_dir("fingerprint");
+        let cache = FactsCache::open(&dir);
+        let h = content_hash("m/a.cc", "text");
+        cache.store(h, &FileFacts::default());
+        // Simulate a cache written by a different rule set.
+        fs::write(
+            dir.join("meta.json"),
+            "{\"schema\":\"adsafe-cache/1\",\"fingerprint\":\"deadbeef\"}",
+        )
+        .unwrap();
+        let cache2 = FactsCache::open(&dir);
+        assert!(matches!(cache2.load(h, FileId(0)), CacheLookup::Miss));
+        // meta.json was rewritten with the current fingerprint.
+        let meta = fs::read_to_string(dir.join("meta.json")).unwrap();
+        assert!(meta.contains(&ruleset_fingerprint()));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

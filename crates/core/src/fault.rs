@@ -117,6 +117,13 @@ pub enum FaultCause {
         /// The phase index at which the deadlock was declared.
         phase: u64,
     },
+    /// An on-disk incremental-cache entry was unreadable or failed
+    /// validation; the file took the cold path (full re-analysis), so
+    /// no evidence was lost.
+    CacheCorrupt {
+        /// Why the entry was rejected.
+        detail: String,
+    },
     /// A fault injected through the failpoint registry.
     Injected(String),
 }
@@ -142,6 +149,9 @@ impl fmt::Display for FaultCause {
             }
             FaultCause::BarrierDeadlock { phase } => {
                 write!(f, "barrier deadlock detected at phase {phase}")
+            }
+            FaultCause::CacheCorrupt { detail } => {
+                write!(f, "corrupt cache entry ({detail}); re-analysed from source")
             }
             FaultCause::Injected(name) => write!(f, "injected fault at `{name}`"),
         }

@@ -34,14 +34,20 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod experiments;
+pub mod facts;
 pub mod fault;
 pub mod pipeline;
 pub mod render;
 
+pub use cache::{content_hash, ruleset_fingerprint, CacheLookup, FactsCache};
 pub use fault::{Fault, FaultCause, FaultLog, FaultPhase, FaultSeverity, Recovery};
 pub use pipeline::{assess_corpus, Assessment, AssessmentOptions, AssessmentReport, Budgets};
 pub use adsafe_trace::TraceSummary;
+
+/// Re-export: zero-dependency work-stealing thread pool.
+pub use adsafe_pool as pool;
 
 /// Re-export: structured tracing & metrics registry.
 pub use adsafe_trace as trace;

@@ -20,24 +20,41 @@
 //!
 //! A report produced through any tier below 1 carries
 //! [`AssessmentReport::degraded`]` == true`.
+//!
+//! ## Parallelism and incrementality
+//!
+//! The parse and metrics phases parallelise per file / per module, and
+//! the checks phase shards per (rule × file), on the work-stealing
+//! [`Pool`] ([`AssessmentOptions::jobs`]; the default of 1 runs
+//! everything inline on the caller thread). With
+//! [`AssessmentOptions::cache_dir`] set, per-file
+//! [`FileFacts`](crate::facts::FileFacts) records are reused across
+//! runs keyed by content hash, skipping parse, file-local checks, and
+//! metrics extraction for unchanged files. Reports are byte-identical
+//! across worker counts and cache states by construction: results merge
+//! in stable file order before the canonical diagnostic sort, and every
+//! cross-file quantity is recomputed from facts on every run (see
+//! [`crate::facts`]).
 
+use crate::cache::{content_hash, CacheLookup, FactsCache};
+use crate::facts::{self, FactsRecord, FileFacts};
 use crate::fault::{
     failpoints, panic_message, Fault, FaultCause, FaultLog, FaultPhase, FaultSeverity, Recovery,
 };
 use adsafe_checkers::{
-    default_checks, run_one_check, AnalysisSet, CheckContext, Diagnostic,
+    default_checks, run_one_check, CheckContext, CheckScope, Diagnostic, FileEntry,
 };
 use adsafe_iso26262::{
     assess, observations, Asil, ComplianceReport, Evidence, GpuEvidence, Observation,
 };
-use adsafe_lang::cuda;
-use adsafe_metrics::{
-    absorb_estimate, module_from_estimates, module_metrics, token_estimate, ModuleMetrics,
-    TokenEstimate,
-};
+use adsafe_lang::{CallGraph, FileId, ParsedFile, SourceMap};
+use adsafe_metrics::{module_from_estimates, token_estimate, ModuleMetrics, TokenEstimate};
+use adsafe_pool::Pool;
 use adsafe_trace::TraceSummary;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 /// Wall-clock budgets for the analysis phases.
@@ -54,12 +71,44 @@ pub struct Budgets {
 }
 
 impl Budgets {
-    fn exceeded(&self, phase_start: Instant) -> bool {
-        self.phase_deadline.is_some_and(|d| phase_start.elapsed() > d)
-    }
-
     fn budget_ms(&self) -> u64 {
         self.phase_deadline.map_or(0, |d| d.as_millis() as u64)
+    }
+}
+
+/// One phase's deadline, shareable across workers: a single phase-start
+/// [`Instant`] (so every worker measures from the same origin) plus an
+/// atomic first-tripper flag, so the `DeadlineExceeded` fault is
+/// recorded exactly once per phase no matter how many workers observe
+/// the overrun concurrently.
+#[derive(Debug)]
+struct PhaseDeadline {
+    start: Instant,
+    limit: Option<Duration>,
+    tripped: AtomicBool,
+}
+
+impl PhaseDeadline {
+    fn new(budgets: &Budgets) -> Self {
+        PhaseDeadline {
+            start: Instant::now(),
+            limit: budgets.phase_deadline,
+            tripped: AtomicBool::new(false),
+        }
+    }
+
+    fn exceeded(&self) -> bool {
+        self.limit.is_some_and(|d| self.start.elapsed() > d)
+    }
+
+    /// True for exactly one caller: the one that gets to record the
+    /// phase's `DeadlineExceeded` fault.
+    fn trip_once(&self) -> bool {
+        self.exceeded()
+            && self
+                .tripped
+                .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
     }
 }
 
@@ -75,6 +124,13 @@ pub struct AssessmentOptions {
     pub coverage: Option<adsafe_iso26262::CoverageEvidence>,
     /// Wall-clock budgets for the analysis phases.
     pub budgets: Budgets,
+    /// Worker threads for the parse/checks/metrics phases. `1` (the
+    /// default) runs everything inline on the caller thread — exactly
+    /// the serial pipeline; `0` means one worker per available core.
+    pub jobs: usize,
+    /// Directory for the incremental facts cache. `None` (the default)
+    /// disables caching.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for AssessmentOptions {
@@ -84,6 +140,8 @@ impl Default for AssessmentOptions {
             has_scheduling_policy: false,
             coverage: None,
             budgets: Budgets::default(),
+            jobs: 1,
+            cache_dir: None,
         }
     }
 }
@@ -124,6 +182,51 @@ struct RawFile {
     module: String,
     path: String,
     text: String,
+}
+
+/// Per-file result of the parse phase, produced by one (possibly
+/// worker-side) task and merged on the caller thread in file order.
+struct ParseOutcome {
+    kind: ParseKind,
+    faults: Vec<Fault>,
+    estimate: Option<TokenEstimate>,
+    hash: u64,
+    cache_ok: bool,
+}
+
+enum ParseKind {
+    /// Parsed this run; facts extracted, diagnostics pending.
+    Fresh(Box<ParsedFile>, FileFacts),
+    /// Served from the facts cache; diagnostics included.
+    Cached(FileFacts),
+    /// Tier 3: token-only estimate (carried in `estimate`).
+    Estimated,
+    /// Tier 4: nothing recoverable.
+    Dropped,
+}
+
+/// A file that survived parsing (fresh or cached) in pipeline position.
+struct LoadedFile {
+    file_idx: usize,
+    id: FileId,
+    facts: FileFacts,
+    parsed: Option<Box<ParsedFile>>, // `Some` iff fresh
+    hash: u64,
+    cache_ok: bool,
+}
+
+/// One (rule × file) or macro-pass shard of the checks phase.
+#[derive(Debug, Clone, Copy)]
+enum ShardTask {
+    /// `(check index, loaded-file index)`.
+    Rule(usize, usize),
+    /// Macro-naming pass over one loaded file.
+    Macro(usize),
+}
+
+enum ShardOut {
+    Rule(Result<Vec<Diagnostic>, adsafe_checkers::CheckFailure>),
+    Macro(Vec<Diagnostic>),
 }
 
 /// The assessment driver. Add files, then [`Assessment::run`].
@@ -182,7 +285,8 @@ impl Assessment {
     /// The whole run executes under an `assessment.run` trace span with
     /// one `phase.*` span per pipeline phase and one `parse.file` span
     /// per input; the drained events become the report's
-    /// [`AssessmentReport::trace`] summary.
+    /// [`AssessmentReport::trace`] summary. Worker-side spans are
+    /// absorbed into the caller's buffer when `jobs > 1`.
     pub fn run(&self) -> AssessmentReport {
         let counters_before = adsafe_trace::counter_snapshot();
         let trace_mark = adsafe_trace::mark();
@@ -193,104 +297,85 @@ impl Assessment {
             log.push(f.clone());
         }
         let budgets = self.options.budgets;
+        let pool = Pool::new(self.options.jobs);
+        adsafe_trace::counter("pool.workers").add(pool.workers() as u64);
+        let cache = self.options.cache_dir.as_deref().map(FactsCache::open);
 
-        // Phase 1: parse, descending the ladder per file.
+        // Phase 1: parse, descending the ladder per file. File ids are
+        // assigned serially (so they are identical run-to-run and
+        // across worker counts); the per-file work fans out.
         let phase_span = adsafe_trace::span("phase.parse", "phase");
-        let mut set = AnalysisSet::new();
+        let mut sm = SourceMap::new();
+        let ids: Vec<FileId> =
+            self.files.iter().map(|rf| sm.add_file(&rf.path, &rf.text)).collect();
+        let sm = sm;
+        let deadline = PhaseDeadline::new(&budgets);
+        let outcomes = pool.map((0..self.files.len()).collect(), |_, i| {
+            parse_one(&sm, ids[i], &self.files[i], &deadline, &budgets, cache.as_ref())
+        });
+
+        let mut loaded: Vec<LoadedFile> = Vec::new();
         let mut estimates: Vec<(String, TokenEstimate)> = Vec::new();
-        let parse_start = Instant::now();
-        let mut parse_deadline_hit = false;
-        for rf in &self.files {
-            let _file_span = adsafe_trace::span_with(
-                "parse.file",
-                "parse",
-                vec![("path", rf.path.clone())],
-            );
-            let id = set.sm.add_file(&rf.path, &rf.text);
-            let text = set.sm.file(id).text().to_string();
-            if parse_deadline_hit || budgets.exceeded(parse_start) {
-                if !parse_deadline_hit {
-                    parse_deadline_hit = true;
-                    log.push(Fault {
-                        phase: FaultPhase::Parse,
-                        path: rf.path.clone(),
-                        severity: FaultSeverity::Degraded,
-                        cause: FaultCause::DeadlineExceeded { budget_ms: budgets.budget_ms() },
-                        recovery: Recovery::TokenMetrics,
+        for (i, res) in outcomes.into_iter().enumerate() {
+            match res {
+                Ok(o) => {
+                    for f in o.faults {
+                        log.push(f);
+                    }
+                    if let Some(est) = o.estimate {
+                        estimates.push((self.files[i].module.clone(), est));
+                    }
+                    let (facts, parsed) = match o.kind {
+                        ParseKind::Fresh(p, facts) => (facts, Some(p)),
+                        ParseKind::Cached(facts) => (facts, None),
+                        ParseKind::Estimated | ParseKind::Dropped => continue,
+                    };
+                    loaded.push(LoadedFile {
+                        file_idx: i,
+                        id: ids[i],
+                        facts,
+                        parsed,
+                        hash: o.hash,
+                        cache_ok: o.cache_ok,
                     });
                 }
-                // Past the deadline: token-only estimation (cheap, total)
-                // keeps every remaining file contributing evidence.
-                if let Ok(est) =
-                    catch_unwind(AssertUnwindSafe(|| token_estimate(id, &text)))
-                {
-                    estimates.push((rf.module.clone(), est));
-                    adsafe_trace::counter("parse.tier3.files").incr();
-                }
-                continue;
-            }
-            let parsed = catch_unwind(AssertUnwindSafe(|| {
-                failpoints::hit("pipeline::parse_file");
-                failpoints::hit(&format!("pipeline::parse_file::{}", rf.path));
-                adsafe_lang::parse_source(id, &text)
-            }));
-            match parsed {
-                Ok(p) => {
-                    let regions = p.unit.recovery_count;
-                    if regions > 0 {
-                        adsafe_trace::counter("parse.tier2.files").incr();
-                        log.push(Fault {
-                            phase: FaultPhase::Parse,
-                            path: rf.path.clone(),
-                            severity: FaultSeverity::Degraded,
-                            cause: FaultCause::ParseResync { regions },
-                            recovery: Recovery::ResyncParse,
-                        });
-                    } else {
-                        adsafe_trace::counter("parse.tier1.files").incr();
-                    }
-                    set.add_parsed(&rf.module, id, p);
-                }
                 Err(payload) => {
-                    let cause = classify_panic(&panic_message(&*payload));
-                    match catch_unwind(AssertUnwindSafe(|| token_estimate(id, &text))) {
-                        Ok(est) => {
-                            estimates.push((rf.module.clone(), est));
-                            adsafe_trace::counter("parse.tier3.files").incr();
-                            log.push(Fault {
-                                phase: FaultPhase::Parse,
-                                path: rf.path.clone(),
-                                severity: FaultSeverity::Degraded,
-                                cause,
-                                recovery: Recovery::TokenMetrics,
-                            });
-                        }
-                        Err(payload2) => {
-                            let _ = payload2;
-                            adsafe_trace::counter("parse.dropped.files").incr();
-                            log.push(Fault {
-                                phase: FaultPhase::Parse,
-                                path: rf.path.clone(),
-                                severity: FaultSeverity::Lost,
-                                cause,
-                                recovery: Recovery::Dropped,
-                            });
-                        }
-                    }
+                    // The task itself panicked outside its internal
+                    // containment — treat as an unrecoverable file.
+                    adsafe_trace::counter("parse.dropped.files").incr();
+                    log.push(Fault {
+                        phase: FaultPhase::Parse,
+                        path: self.files[i].path.clone(),
+                        severity: FaultSeverity::Lost,
+                        cause: classify_panic(&panic_message(&*payload)),
+                        recovery: Recovery::Dropped,
+                    });
                 }
             }
         }
-        note_phase_overrun(&mut log, FaultPhase::Parse, parse_start, &budgets);
+        note_phase_overrun(&mut log, FaultPhase::Parse, deadline.start, &budgets);
         drop(phase_span);
 
-        // Phase 2: checkers, isolated per rule.
+        // Facts records in stable file order — the single source for
+        // every cross-file assembly below, fresh and cached alike.
+        let records: Vec<FactsRecord<'_>> = loaded
+            .iter()
+            .map(|l| (l.id, self.files[l.file_idx].module.as_str(), &l.facts))
+            .collect();
+
+        // Phase 2: checkers, sharded (rule × file) with per-shard
+        // isolation. Rule gates (failpoints, deadline) run on the
+        // caller thread first so a gated rule is skipped wholesale.
         let phase_span = adsafe_trace::span("phase.checks", "phase");
-        let cx = set.context();
+        let graph = facts::call_graph(&records);
+        let globals = facts::global_names(&records);
         let checks = default_checks();
-        let checks_start = Instant::now();
-        let mut diagnostics: Vec<Diagnostic> = Vec::new();
+        let deadline = PhaseDeadline::new(&budgets);
+        let mut skipped: HashSet<&'static str> = HashSet::new();
+        let mut deadline_cut = false;
         for c in &checks {
-            if budgets.exceeded(checks_start) {
+            if !deadline_cut && deadline.exceeded() {
+                deadline_cut = true;
                 log.push(Fault {
                     phase: FaultPhase::Checks,
                     path: c.id().to_string(),
@@ -298,7 +383,10 @@ impl Assessment {
                     cause: FaultCause::DeadlineExceeded { budget_ms: budgets.budget_ms() },
                     recovery: Recovery::SkippedItem,
                 });
-                break;
+            }
+            if deadline_cut {
+                skipped.insert(c.id());
+                continue;
             }
             if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
                 failpoints::hit("pipeline::check");
@@ -311,71 +399,216 @@ impl Assessment {
                     cause: classify_panic(&panic_message(&*payload)),
                     recovery: Recovery::SkippedItem,
                 });
+                skipped.insert(c.id());
+            }
+        }
+
+        // Shard list: file-local rules × fresh files (cached files carry
+        // their file-local diagnostics in the facts record), then the
+        // macro-naming pass per fresh file.
+        let fresh_idx: Vec<usize> = (0..loaded.len())
+            .filter(|&li| loaded[li].parsed.is_some())
+            .collect();
+        let mut tasks: Vec<ShardTask> = Vec::new();
+        for (ci, c) in checks.iter().enumerate() {
+            if c.scope() != CheckScope::File || skipped.contains(c.id()) {
                 continue;
             }
-            match run_one_check(c.as_ref(), &cx) {
-                Ok(diags) => diagnostics.extend(diags),
-                Err(failure) => log.push(Fault {
-                    phase: FaultPhase::Checks,
-                    path: failure.check_id.to_string(),
-                    severity: FaultSeverity::Degraded,
-                    cause: FaultCause::Panic(failure.message),
-                    recovery: Recovery::SkippedItem,
-                }),
+            for &li in &fresh_idx {
+                tasks.push(ShardTask::Rule(ci, li));
             }
         }
-        // Macro naming runs from PpInfo (outside the Check trait),
-        // isolated per file.
-        for (id, _, parsed) in set.parsed() {
-            match catch_unwind(AssertUnwindSafe(|| {
-                let _sp = adsafe_trace::span("check.naming-macro", "checks");
-                adsafe_checkers::naming::check_macros(&parsed.pp)
-            })) {
-                Ok(diags) => diagnostics.extend(diags),
+        for &li in &fresh_idx {
+            tasks.push(ShardTask::Macro(li));
+        }
+        let task_list = tasks.clone();
+        let shard_results = pool.map(tasks, |_, t| {
+            let li = match t {
+                ShardTask::Rule(_, li) | ShardTask::Macro(li) => li,
+            };
+            let l = &loaded[li];
+            let parsed = l.parsed.as_deref().expect("shards only target fresh files");
+            match t {
+                ShardTask::Rule(ci, _) => {
+                    let entry = FileEntry {
+                        file: sm.file(l.id),
+                        unit: &parsed.unit,
+                        module: &self.files[l.file_idx].module,
+                    };
+                    let cx = CheckContext::file_local(&sm, entry);
+                    ShardOut::Rule(run_one_check(checks[ci].as_ref(), &cx))
+                }
+                ShardTask::Macro(_) => {
+                    let _sp = adsafe_trace::span("check.naming-macro", "checks");
+                    ShardOut::Macro(adsafe_checkers::naming::check_macros(&parsed.pp))
+                }
+            }
+        });
+
+        let mut diagnostics: Vec<Diagnostic> = Vec::new();
+        // Per-file diagnostic buckets for cache write-back, filled in
+        // rule-registry order (then macros) — the order cached entries
+        // replay them in.
+        let mut buckets: HashMap<usize, Vec<Diagnostic>> = HashMap::new();
+        let mut checks_ok: Vec<bool> = vec![true; loaded.len()];
+        for (t, res) in task_list.iter().zip(shard_results) {
+            match (t, res) {
+                (ShardTask::Rule(_, li), Ok(ShardOut::Rule(Ok(diags)))) => {
+                    buckets.entry(*li).or_default().extend(diags.iter().cloned());
+                    diagnostics.extend(diags);
+                }
+                (ShardTask::Rule(_, li), Ok(ShardOut::Rule(Err(failure)))) => {
+                    checks_ok[*li] = false;
+                    log.push(Fault {
+                        phase: FaultPhase::Checks,
+                        path: failure.check_id.to_string(),
+                        severity: FaultSeverity::Degraded,
+                        cause: FaultCause::Panic(failure.message),
+                        recovery: Recovery::SkippedItem,
+                    });
+                }
+                (ShardTask::Macro(li), Ok(ShardOut::Macro(diags))) => {
+                    buckets.entry(*li).or_default().extend(diags.iter().cloned());
+                    diagnostics.extend(diags);
+                }
+                (ShardTask::Rule(ci, li), Err(payload)) => {
+                    checks_ok[*li] = false;
+                    log.push(Fault {
+                        phase: FaultPhase::Checks,
+                        path: checks[*ci].id().to_string(),
+                        severity: FaultSeverity::Degraded,
+                        cause: classify_panic(&panic_message(&*payload)),
+                        recovery: Recovery::SkippedItem,
+                    });
+                }
+                (ShardTask::Macro(li), Err(payload)) => {
+                    checks_ok[*li] = false;
+                    log.push(Fault {
+                        phase: FaultPhase::Checks,
+                        path: self.files[loaded[*li].file_idx].path.clone(),
+                        severity: FaultSeverity::Degraded,
+                        cause: classify_panic(&panic_message(&*payload)),
+                        recovery: Recovery::SkippedItem,
+                    });
+                }
+                // A task cannot return the other variant's output.
+                (ShardTask::Rule(..), Ok(ShardOut::Macro(_)))
+                | (ShardTask::Macro(_), Ok(ShardOut::Rule(_))) => unreachable!(),
+            }
+        }
+
+        // Program-scoped rules run once, from facts, on the caller
+        // thread — they need the whole program, not a shard. The set is
+        // pinned by a test in adsafe-checkers; a future program-scoped
+        // rule must be given a facts replay here.
+        for c in &checks {
+            if c.scope() != CheckScope::Program || skipped.contains(c.id()) {
+                continue;
+            }
+            let id = c.id();
+            let _sp = adsafe_trace::span(format!("check.{id}"), "checks");
+            let result = catch_unwind(AssertUnwindSafe(|| match id {
+                "misra-17.2-recursion" => facts::recursion_diags(&records, &graph),
+                "design-global-use" => facts::global_use_diags(&records, &globals),
+                _ => Vec::new(),
+            }));
+            match result {
+                Ok(diags) => {
+                    adsafe_trace::counter(&format!("checks.rule.{id}.diags"))
+                        .add(diags.len() as u64);
+                    diagnostics.extend(diags);
+                }
                 Err(payload) => log.push(Fault {
                     phase: FaultPhase::Checks,
-                    path: set.sm.file(*id).path().to_string(),
+                    path: id.to_string(),
                     severity: FaultSeverity::Degraded,
-                    cause: classify_panic(&panic_message(&*payload)),
+                    cause: FaultCause::Panic(panic_message(&*payload)),
                     recovery: Recovery::SkippedItem,
                 }),
             }
         }
-        // One canonical order for the *complete* list — including the
-        // macro findings appended above — so repeated runs over the
-        // same corpus render byte-identical reports.
+
+        // Cached files replay their stored file-local diagnostics —
+        // filtered by `skipped` so a gated rule stays silent on warm
+        // runs too.
+        for l in &loaded {
+            if l.parsed.is_none() {
+                diagnostics.extend(
+                    l.facts.diags.iter().filter(|d| !skipped.contains(d.check_id)).cloned(),
+                );
+            }
+        }
+
+        // One canonical order for the *complete* list — shards, macro
+        // findings, program-scoped rules, and cached replays — so
+        // repeated runs over the same corpus render byte-identical
+        // reports regardless of worker count or cache state. The sort
+        // is stable, and no two merge sources share a (rule, file)
+        // group, so within-group emission order is preserved exactly.
         diagnostics.sort_by_key(|d| (d.check_id, d.span.file, d.span.start));
         adsafe_trace::counter("checks.diagnostics").add(diagnostics.len() as u64);
-        note_phase_overrun(&mut log, FaultPhase::Checks, checks_start, &budgets);
+        note_phase_overrun(&mut log, FaultPhase::Checks, deadline.start, &budgets);
         drop(phase_span);
 
-        // Phase 3: module metrics, isolated per module, with token-only
-        // fallback so a module never vanishes from Figure 3.
+        // Cache write-back: only fully-clean fresh files (tier-1 parse,
+        // no shard fault) from a run where no rule was gated or cut —
+        // a cached entry must replay the complete file-local rule set,
+        // and recoverable faults (resync, panics) must recur on warm
+        // runs rather than being papered over.
+        if let Some(c) = &cache {
+            if skipped.is_empty() {
+                for (li, l) in loaded.iter().enumerate() {
+                    if l.parsed.is_some() && l.cache_ok && checks_ok[li] {
+                        let mut entry = l.facts.clone();
+                        entry.diags = buckets.remove(&li).unwrap_or_default();
+                        c.store(l.hash, &entry);
+                    }
+                }
+            }
+        }
+
+        // Phase 3: module metrics from facts, isolated per module, with
+        // token-only fallback so a module never vanishes from Figure 3.
         let phase_span = adsafe_trace::span("phase.metrics", "phase");
-        let metrics_start = Instant::now();
+        let deadline = PhaseDeadline::new(&budgets);
+        let mut seen = HashSet::new();
+        let mut module_order: Vec<&str> = Vec::new();
+        for l in &loaded {
+            let m = self.files[l.file_idx].module.as_str();
+            if seen.insert(m) {
+                module_order.push(m);
+            }
+        }
+        let module_results = pool.map(module_order.clone(), |_, m| {
+            if deadline.exceeded() {
+                return Err(FaultCause::DeadlineExceeded { budget_ms: budgets.budget_ms() });
+            }
+            catch_unwind(AssertUnwindSafe(|| {
+                failpoints::hit(&format!("pipeline::metrics::{m}"));
+                let files: Vec<&FileFacts> = loaded
+                    .iter()
+                    .filter(|l| self.files[l.file_idx].module == m)
+                    .map(|l| &l.facts)
+                    .collect();
+                facts::module_metrics_from_facts(m, &files)
+            }))
+            .map_err(|payload| classify_panic(&panic_message(&*payload)))
+        });
         let mut modules: Vec<ModuleMetrics> = Vec::new();
-        for m in cx.modules() {
-            let entries = cx.module_entries(m);
-            let deadline_hit = budgets.exceeded(metrics_start);
-            let result = if deadline_hit {
-                Err(FaultCause::DeadlineExceeded { budget_ms: budgets.budget_ms() })
-            } else {
-                catch_unwind(AssertUnwindSafe(|| {
-                    failpoints::hit(&format!("pipeline::metrics::{m}"));
-                    let files: Vec<_> =
-                        entries.iter().map(|e| (e.file, e.unit)).collect();
-                    module_metrics(m, &files)
-                }))
-                .map_err(|payload| classify_panic(&panic_message(&*payload)))
+        for (m, res) in module_order.iter().zip(module_results) {
+            let flat = match res {
+                Ok(inner) => inner,
+                Err(payload) => Err(classify_panic(&panic_message(&*payload))),
             };
-            match result {
+            match flat {
                 Ok(mm) => modules.push(mm),
                 Err(cause) => {
-                    let ests: Vec<TokenEstimate> = entries
+                    let ests: Vec<TokenEstimate> = loaded
                         .iter()
-                        .filter_map(|e| {
+                        .filter(|l| self.files[l.file_idx].module == *m)
+                        .filter_map(|l| {
                             catch_unwind(AssertUnwindSafe(|| {
-                                token_estimate(e.file.id(), e.file.text())
+                                token_estimate(l.id, sm.file(l.id).text())
                             }))
                             .ok()
                         })
@@ -394,12 +627,11 @@ impl Assessment {
         // Absorb tier-3 files into their modules' metrics.
         for (module, est) in &estimates {
             match modules.iter_mut().find(|m| &m.name == module) {
-                Some(m) => absorb_estimate(m, est),
+                Some(m) => adsafe_metrics::absorb_estimate(m, est),
                 None => modules.push(module_from_estimates(module, &[*est])),
             }
         }
-
-        note_phase_overrun(&mut log, FaultPhase::Metrics, metrics_start, &budgets);
+        note_phase_overrun(&mut log, FaultPhase::Metrics, deadline.start, &budgets);
         drop(phase_span);
 
         // Phase 4: evidence assembly and compliance judgement, with a
@@ -407,7 +639,7 @@ impl Assessment {
         let phase_span = adsafe_trace::span("phase.assess", "phase");
         let unit = catch_unwind(AssertUnwindSafe(|| {
             failpoints::hit("pipeline::assess");
-            adsafe_checkers::unit_design_stats(&cx)
+            facts::unit_stats_from_facts(&records, &graph)
         }))
         .unwrap_or_else(|payload| {
             log.push(Fault {
@@ -420,7 +652,7 @@ impl Assessment {
             adsafe_checkers::UnitDesignStats::default()
         });
         let evidence = catch_unwind(AssertUnwindSafe(|| {
-            self.assemble_evidence(&cx, &modules, &unit, &diagnostics)
+            self.assemble_evidence(&records, &graph, &modules, &unit, &diagnostics)
         }))
         .unwrap_or_else(|payload| {
             log.push(Fault {
@@ -483,7 +715,8 @@ impl Assessment {
 
     fn assemble_evidence(
         &self,
-        cx: &CheckContext<'_>,
+        records: &[FactsRecord<'_>],
+        graph: &CallGraph,
         modules: &[ModuleMetrics],
         unit: &adsafe_checkers::UnitDesignStats,
         diagnostics: &[Diagnostic],
@@ -511,21 +744,19 @@ impl Assessment {
         let naming_findings =
             count("naming-type") + count("naming-variable") + count("naming-macro");
 
-        // GPU evidence from the CUDA profiles.
+        // GPU evidence from the per-function facts.
         let mut gpu = GpuEvidence {
             language_subset_available: false,
             coverage_tool_available: false,
             ..GpuEvidence::default()
         };
-        for e in &cx.entries {
-            for k in cuda::kernels(e.unit) {
-                gpu.kernel_count += 1;
-                gpu.kernel_pointer_params +=
-                    k.sig.params.iter().filter(|p| p.ty.is_pointer_like()).count();
-            }
-            for f in e.unit.functions() {
-                let prof = cuda::profile_function(f);
-                gpu.device_alloc_sites += prof.alloc_calls();
+        for (_, _, facts) in records {
+            for f in &facts.functions {
+                if f.is_kernel {
+                    gpu.kernel_count += 1;
+                    gpu.kernel_pointer_params += f.ptr_params;
+                }
+                gpu.device_alloc_sites += f.alloc_calls;
             }
         }
         gpu.closed_source_calls = count("cuda-closed-source-lib");
@@ -536,18 +767,17 @@ impl Assessment {
         } else {
             modules.iter().map(|m| m.cohesion).sum::<f64>() / modules.len() as f64
         };
-        let module_of: HashMap<String, String> = cx
-            .entries
+        let module_of: HashMap<String, String> = records
             .iter()
-            .flat_map(|e| {
-                e.unit
-                    .functions()
-                    .into_iter()
-                    .map(move |f| (f.sig.qualified_name.clone(), e.module.to_string()))
+            .flat_map(|(_, module, facts)| {
+                facts
+                    .functions
+                    .iter()
+                    .map(move |f| (f.metrics.qualified_name.clone(), module.to_string()))
             })
             .collect();
         let coupling_edges: usize =
-            adsafe_metrics::coupling(&cx.graph, &module_of).values().sum();
+            adsafe_metrics::coupling(graph, &module_of).values().sum();
         let total_functions: usize = modules.iter().map(|m| m.function_count()).sum();
         let mean_interface_params = if modules.is_empty() {
             0.0
@@ -566,7 +796,7 @@ impl Assessment {
             misra_violations,
             explicit_casts: count("typing-explicit-cast"),
             implicit_conversions: unit.implicit_conversions,
-            validation_ratio: adsafe_checkers::defensive::validation_ratio(cx),
+            validation_ratio: facts::validation_ratio_from_facts(records),
             unchecked_calls: count("defensive-unchecked-return"),
             global_definitions: unit.global_definitions,
             style_findings,
@@ -592,14 +822,137 @@ impl Assessment {
     }
 }
 
+/// The per-file parse task: cache lookup, parse + facts extraction
+/// under panic containment, degradation ladder on failure. Runs on a
+/// worker when `jobs > 1`, inline otherwise; all counters are global,
+/// and trace spans are absorbed back into the caller's buffer.
+fn parse_one(
+    sm: &SourceMap,
+    id: FileId,
+    rf: &RawFile,
+    deadline: &PhaseDeadline,
+    budgets: &Budgets,
+    cache: Option<&FactsCache>,
+) -> ParseOutcome {
+    let _file_span =
+        adsafe_trace::span_with("parse.file", "parse", vec![("path", rf.path.clone())]);
+    let text = sm.file(id).text();
+    let mut out = ParseOutcome {
+        kind: ParseKind::Dropped,
+        faults: Vec::new(),
+        estimate: None,
+        hash: 0,
+        cache_ok: false,
+    };
+    if deadline.exceeded() {
+        if deadline.trip_once() {
+            out.faults.push(Fault {
+                phase: FaultPhase::Parse,
+                path: rf.path.clone(),
+                severity: FaultSeverity::Degraded,
+                cause: FaultCause::DeadlineExceeded { budget_ms: budgets.budget_ms() },
+                recovery: Recovery::TokenMetrics,
+            });
+        }
+        // Past the deadline: token-only estimation (cheap, total)
+        // keeps every remaining file contributing evidence.
+        if let Ok(est) = catch_unwind(AssertUnwindSafe(|| token_estimate(id, text))) {
+            adsafe_trace::counter("parse.tier3.files").incr();
+            out.estimate = Some(est);
+            out.kind = ParseKind::Estimated;
+        }
+        return out;
+    }
+    if let Some(c) = cache {
+        out.hash = content_hash(&rf.path, text);
+        match c.load(out.hash, id) {
+            CacheLookup::Hit(facts) => {
+                adsafe_trace::counter("parse.cached.files").incr();
+                out.kind = ParseKind::Cached(facts);
+                return out;
+            }
+            CacheLookup::Corrupt(detail) => {
+                // Cold path from here on; the entry was evicted and a
+                // clean one will be written back after checks.
+                out.faults.push(Fault {
+                    phase: FaultPhase::Parse,
+                    path: rf.path.clone(),
+                    severity: FaultSeverity::Info,
+                    cause: FaultCause::CacheCorrupt { detail },
+                    recovery: Recovery::Noted,
+                });
+            }
+            CacheLookup::Miss => {}
+        }
+    }
+    let parsed = catch_unwind(AssertUnwindSafe(|| {
+        failpoints::hit("pipeline::parse_file");
+        failpoints::hit(&format!("pipeline::parse_file::{}", rf.path));
+        let p = adsafe_lang::parse_source(id, text);
+        let facts = facts::extract_facts(sm, id, &p);
+        (p, facts)
+    }));
+    match parsed {
+        Ok((p, facts)) => {
+            let regions = p.unit.recovery_count;
+            if regions > 0 {
+                adsafe_trace::counter("parse.tier2.files").incr();
+                out.faults.push(Fault {
+                    phase: FaultPhase::Parse,
+                    path: rf.path.clone(),
+                    severity: FaultSeverity::Degraded,
+                    cause: FaultCause::ParseResync { regions },
+                    recovery: Recovery::ResyncParse,
+                });
+            } else {
+                adsafe_trace::counter("parse.tier1.files").incr();
+                out.cache_ok = true;
+            }
+            out.kind = ParseKind::Fresh(Box::new(p), facts);
+        }
+        Err(payload) => {
+            let cause = classify_panic(&panic_message(&*payload));
+            match catch_unwind(AssertUnwindSafe(|| token_estimate(id, text))) {
+                Ok(est) => {
+                    adsafe_trace::counter("parse.tier3.files").incr();
+                    out.estimate = Some(est);
+                    out.kind = ParseKind::Estimated;
+                    out.faults.push(Fault {
+                        phase: FaultPhase::Parse,
+                        path: rf.path.clone(),
+                        severity: FaultSeverity::Degraded,
+                        cause,
+                        recovery: Recovery::TokenMetrics,
+                    });
+                }
+                Err(payload2) => {
+                    let _ = payload2;
+                    adsafe_trace::counter("parse.dropped.files").incr();
+                    out.faults.push(Fault {
+                        phase: FaultPhase::Parse,
+                        path: rf.path.clone(),
+                        severity: FaultSeverity::Lost,
+                        cause,
+                        recovery: Recovery::Dropped,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Records how far past its budget a phase actually ran.
 ///
-/// `Budgets::exceeded` is only consulted *between* items, so a slow
-/// item can carry a phase well past its deadline without any record of
-/// the magnitude. This notes the overrun as a `{phase}.budget.overrun_ms`
+/// Deadlines are only consulted *between* items, so a slow item can
+/// carry a phase well past its deadline without any record of the
+/// magnitude. This notes the overrun as a `{phase}.budget.overrun_ms`
 /// counter and a `Timeout`-severity fault comparing actual against
 /// budgeted milliseconds. `Timeout` sits below `Degraded`, so the
-/// report's evidence is not marked degraded by the note alone.
+/// report's evidence is not marked degraded by the note alone. Always
+/// called on the caller thread, once per phase — workers only ever
+/// record the `DeadlineExceeded` item fault (at most once, via the
+/// shared [`PhaseDeadline`]).
 fn note_phase_overrun(
     log: &mut FaultLog,
     phase: FaultPhase,
@@ -723,7 +1076,7 @@ mod tests {
         let spec = adsafe_corpus::ApolloSpec::test_scale();
         let files = adsafe_corpus::generate(&spec);
         let r = assess_corpus(&files, AssessmentOptions::default());
-        assert_eq!(r.evidence.total_functions > 100, true);
+        assert!(r.evidence.total_functions > 100);
         assert!(r.evidence.functions_over_cc10 >= spec.total_over_10());
         assert!(r.compliance.blocking_count() > 0);
     }

@@ -109,8 +109,22 @@ pub fn coverage_table(report: &AssessmentReport) -> Option<Table> {
 
 /// Renders the complete assessment as a single Markdown document:
 /// summary, the three compliance tables, coverage (if measured), the
-/// observations that hold, and the finding counts per rule.
+/// observations that hold, the finding counts per rule, and the trace
+/// digest.
 pub fn full_report_markdown(report: &AssessmentReport) -> String {
+    let mut out = deterministic_report_markdown(report);
+    out.push('\n');
+    out.push_str(&trace_summary(report));
+    out
+}
+
+/// [`full_report_markdown`] minus the trailing trace digest — every
+/// section that depends only on the assessed code, none that depend on
+/// wall time. Two runs over the same corpus render byte-identical
+/// output here regardless of worker count (`AssessmentOptions::jobs`)
+/// or cache state; the pipeline's determinism tests and the CI
+/// jobs-matrix gate compare exactly this document.
+pub fn deterministic_report_markdown(report: &AssessmentReport) -> String {
     let mut out = String::new();
     out.push_str("# ISO 26262 Part-6 Adherence Assessment\n\n");
     out.push_str(&format!(
@@ -152,8 +166,6 @@ pub fn full_report_markdown(report: &AssessmentReport) -> String {
         out.push('\n');
         out.push_str(&fault_summary(report));
     }
-    out.push('\n');
-    out.push_str(&trace_summary(report));
     out
 }
 

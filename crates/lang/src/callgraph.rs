@@ -2,9 +2,26 @@
 //! computation for recursion detection (ISO 26262-6 Table 8 row 10 / MISRA
 //! C:2012 rule 17.2).
 
-use crate::ast::{ExprKind, TranslationUnit};
+use crate::ast::{ExprKind, FunctionDef, TranslationUnit};
 use crate::visit::walk_exprs;
 use std::collections::{HashMap, HashSet};
+
+/// Raw callee names of one function, in expression-walk order with
+/// duplicates preserved. This is the per-function input [`CallGraph`]
+/// resolution consumes; callers that cache per-file analysis results
+/// persist exactly this list so [`CallGraph::from_functions`] can
+/// replay graph construction without re-parsing.
+pub fn callee_names(f: &FunctionDef) -> Vec<String> {
+    let mut callees: Vec<String> = Vec::new();
+    walk_exprs(f, |e| {
+        if matches!(e.kind, ExprKind::Call { .. } | ExprKind::KernelLaunch { .. }) {
+            if let Some(name) = e.callee_name() {
+                callees.push(name.to_string());
+            }
+        }
+    });
+    callees
+}
 
 /// A call graph: nodes are function names, edges are direct calls.
 #[derive(Debug, Default, Clone)]
@@ -23,12 +40,24 @@ impl CallGraph {
     /// `f` as candidate targets, matching how a linker-less static analysis
     /// has to operate.
     pub fn build(units: &[&TranslationUnit]) -> Self {
+        let defs: Vec<(String, Vec<String>)> = units
+            .iter()
+            .flat_map(|u| u.functions())
+            .map(|f| (f.sig.qualified_name.clone(), callee_names(f)))
+            .collect();
+        Self::from_functions(&defs)
+    }
+
+    /// Builds a call graph from per-function `(qualified_name, raw
+    /// callees)` facts, replaying exactly the resolution [`build`]
+    /// performs on freshly parsed units. Entries must appear in unit /
+    /// definition order with callees as produced by [`callee_names`];
+    /// the incremental pipeline feeds this from cached per-file facts.
+    pub fn from_functions(defs: &[(String, Vec<String>)]) -> Self {
         let mut g = CallGraph::default();
         // Pass 1: nodes.
-        for u in units {
-            for f in u.functions() {
-                g.intern(&f.sig.qualified_name);
-            }
+        for (qualified_name, _) in defs {
+            g.intern(qualified_name);
         }
         let mut by_simple: HashMap<String, Vec<usize>> = HashMap::new();
         for (i, name) in g.names.iter().enumerate() {
@@ -36,26 +65,16 @@ impl CallGraph {
             by_simple.entry(simple).or_default().push(i);
         }
         // Pass 2: edges.
-        for u in units {
-            for f in u.functions() {
-                let from = g.index[&f.sig.qualified_name];
-                let mut callees: Vec<String> = Vec::new();
-                walk_exprs(f, |e| {
-                    if matches!(e.kind, ExprKind::Call { .. } | ExprKind::KernelLaunch { .. }) {
-                        if let Some(name) = e.callee_name() {
-                            callees.push(name.to_string());
-                        }
+        for (qualified_name, callees) in defs {
+            let from = g.index[qualified_name];
+            for callee in callees {
+                let simple = callee.rsplit("::").next().unwrap_or(callee);
+                if let Some(targets) = by_simple.get(simple) {
+                    for &t in targets {
+                        g.edges[from].insert(t);
                     }
-                });
-                for callee in callees {
-                    let simple = callee.rsplit("::").next().unwrap_or(&callee);
-                    if let Some(targets) = by_simple.get(simple) {
-                        for &t in targets {
-                            g.edges[from].insert(t);
-                        }
-                    } else {
-                        *g.external_calls.entry(callee).or_insert(0) += 1;
-                    }
+                } else {
+                    *g.external_calls.entry(callee.clone()).or_insert(0) += 1;
                 }
             }
         }
@@ -289,5 +308,32 @@ mod tests {
             "__global__ void k(float* x) {}\nvoid h(float* x) { k<<<1, 32>>>(x); }",
         ]);
         assert_eq!(g.callees("h").unwrap(), vec!["k"]);
+    }
+
+    #[test]
+    fn from_functions_replays_build_exactly() {
+        let srcs = [
+            "namespace a { void f() { g(); } }\nvoid g() { a::f(); printf(\"x\"); }",
+            "void h() { h(); g(); unknown(); }",
+        ];
+        let parsed: Vec<_> = srcs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| parse_source(FileId(i as u32), s))
+            .collect();
+        let units: Vec<&TranslationUnit> = parsed.iter().map(|p| &p.unit).collect();
+        let built = CallGraph::build(&units);
+        let defs: Vec<(String, Vec<String>)> = units
+            .iter()
+            .flat_map(|u| u.functions())
+            .map(|f| (f.sig.qualified_name.clone(), callee_names(f)))
+            .collect();
+        let replayed = CallGraph::from_functions(&defs);
+        assert_eq!(built.names(), replayed.names());
+        assert_eq!(built.external_calls(), replayed.external_calls());
+        assert_eq!(built.recursive_functions(), replayed.recursive_functions());
+        for name in built.names() {
+            assert_eq!(built.callees(name), replayed.callees(name));
+        }
     }
 }

@@ -1,0 +1,63 @@
+//! A tiny global string interner.
+//!
+//! The hot assessment loop used to clone module-name `String`s once
+//! per parsed file and again per diagnostic context; interning turns
+//! every repeat into a reference-count bump on a shared `Arc<str>`.
+//! The table is process-global and append-only — module names and
+//! check ids form a small, bounded vocabulary, so entries are never
+//! evicted.
+
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex, OnceLock};
+
+static TABLE: OnceLock<Mutex<HashSet<Arc<str>>>> = OnceLock::new();
+
+/// Returns the canonical shared copy of `s`, inserting it on first use.
+///
+/// Two calls with equal strings return pointer-identical `Arc`s:
+///
+/// ```
+/// let a = adsafe_lang::intern::intern("perception");
+/// let b = adsafe_lang::intern::intern("perception");
+/// assert!(std::ptr::eq(a.as_ptr(), b.as_ptr()));
+/// ```
+pub fn intern(s: &str) -> Arc<str> {
+    let table = TABLE.get_or_init(|| Mutex::new(HashSet::new()));
+    let mut table = table.lock().unwrap();
+    if let Some(existing) = table.get(s) {
+        return Arc::clone(existing);
+    }
+    let arc: Arc<str> = Arc::from(s);
+    table.insert(Arc::clone(&arc));
+    arc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interned_strings_are_shared() {
+        let a = intern("control");
+        let b = intern("control");
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a.as_ptr(), b.as_ptr()));
+        let c = intern("planning");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn interning_is_thread_safe() {
+        let arcs: Vec<Arc<str>> = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| s.spawn(|| intern("shared-module")))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for w in arcs.windows(2) {
+            assert!(std::ptr::eq(w[0].as_ptr(), w[1].as_ptr()));
+        }
+    }
+}

@@ -29,6 +29,7 @@
 pub mod ast;
 pub mod callgraph;
 pub mod cuda;
+pub mod intern;
 pub mod lexer;
 pub mod parser;
 pub mod preprocess;

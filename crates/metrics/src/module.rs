@@ -117,7 +117,12 @@ pub fn module_metrics(name: &str, files: &[(&SourceFile, &TranslationUnit)]) -> 
     }
 }
 
-fn pairwise_cohesion(touched: &[HashSet<String>]) -> f64 {
+/// LCOM-style pairwise cohesion over per-function touched-global sets:
+/// the fraction of function pairs sharing at least one accessed module
+/// global (1.0 when there are fewer than two functions). Public so the
+/// incremental pipeline can recompute cohesion from cached per-function
+/// ident sets with exactly this formula.
+pub fn pairwise_cohesion(touched: &[HashSet<String>]) -> f64 {
     let n = touched.len();
     if n < 2 {
         return 1.0;

@@ -121,11 +121,39 @@ impl BenchBaseline {
         Ok(BenchBaseline { phases, total_ms, counters })
     }
 
+    /// Phases present in exactly one of `self` (the baseline) and
+    /// `current`, each reported as a named difference. A phase that
+    /// disappears from the run (or appears out of nowhere) used to be
+    /// silently skipped by [`regressions`](Self::regressions); callers
+    /// like `adsafe trace-compare` surface these by name so a renamed
+    /// or dropped phase is a visible, deliberate baseline update.
+    /// Counters are deliberately *not* compared — new instrumentation
+    /// (e.g. `pool.*`/`cache.*`) must not fail the gate.
+    pub fn phase_differences(&self, current: &Self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (name, ms) in &self.phases {
+            if !current.phases.iter().any(|(n, _)| n == name) {
+                out.push(format!(
+                    "phase `{name}` ({ms:.2} ms in baseline) is missing from the current run"
+                ));
+            }
+        }
+        for (name, ms) in &current.phases {
+            if !self.phases.iter().any(|(n, _)| n == name) {
+                out.push(format!(
+                    "phase `{name}` ({ms:.2} ms in current run) is missing from the baseline"
+                ));
+            }
+        }
+        out
+    }
+
     /// Phases of `current` that run more than `factor`× slower than in
     /// `self`. Phases under [`NOISE_FLOOR_MS`] in the baseline are held
     /// to the floor×factor bar instead, so microsecond phases cannot
     /// produce spurious failures. Phases missing on either side are
-    /// ignored (renames are a deliberate baseline update).
+    /// not regressions — [`phase_differences`](Self::phase_differences)
+    /// reports those by name.
     pub fn regressions(&self, current: &Self, factor: f64) -> Vec<Regression> {
         let mut out = Vec::new();
         for (name, cur_ms) in &current.phases {
@@ -185,6 +213,27 @@ mod tests {
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].phase, "parse");
         assert!(r[0].to_string().contains("2.5x"), "{}", r[0]);
+    }
+
+    #[test]
+    fn phase_set_differences_are_reported_by_name() {
+        let base = baseline(&[("parse", 10.0), ("checks", 5.0)]);
+        let cur = baseline(&[("parse", 10.0), ("metrics", 2.0)]);
+        let diffs = base.phase_differences(&cur);
+        assert_eq!(diffs.len(), 2);
+        assert!(diffs[0].contains("`checks`") && diffs[0].contains("missing from the current run"));
+        assert!(diffs[1].contains("`metrics`") && diffs[1].contains("missing from the baseline"));
+        assert!(base.phase_differences(&base).is_empty());
+    }
+
+    #[test]
+    fn new_counters_do_not_affect_comparison() {
+        let base = baseline(&[("parse", 10.0)]);
+        let mut cur = baseline(&[("parse", 10.0)]);
+        cur.counters.push(("pool.steals".to_string(), 7));
+        cur.counters.push(("cache.hits".to_string(), 11));
+        assert!(base.regressions(&cur, 2.0).is_empty());
+        assert!(base.phase_differences(&cur).is_empty());
     }
 
     #[test]

@@ -49,6 +49,6 @@ pub use metrics::{
     HistogramSnapshot,
 };
 pub use span::{
-    drain_from, enabled, mark, now_us, set_enabled, span, span_with, SpanEvent, SpanGuard,
+    absorb, drain_from, enabled, mark, now_us, set_enabled, span, span_with, SpanEvent, SpanGuard,
 };
 pub use summary::{PhaseTime, TraceSummary};

@@ -180,6 +180,30 @@ pub fn open_depth() -> usize {
     TRACE.with(|t| t.borrow().stack.len())
 }
 
+/// Appends events drained on another thread into this thread's buffer.
+///
+/// Worker threads in `adsafe-pool` drain their own events after their
+/// task loop and hand them to the spawning thread, which absorbs them
+/// so a single [`drain_from`] on the caller sees the whole run. Events
+/// keep their original `tid`, so per-thread nesting invariants still
+/// hold. The per-thread [`EVENT_CAP`] applies; overflow is counted in
+/// `trace.events.dropped` like locally recorded events.
+pub fn absorb(events: Vec<SpanEvent>) {
+    if events.is_empty() {
+        return;
+    }
+    TRACE.with(|t| {
+        let t = &mut *t.borrow_mut();
+        for ev in events {
+            if t.events.len() < EVENT_CAP {
+                t.events.push(ev);
+            } else {
+                crate::metrics::counter("trace.events.dropped").incr();
+            }
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,6 +276,34 @@ mod tests {
         }
         set_enabled(true);
         assert!(drain_from(m).is_empty());
+    }
+
+    #[test]
+    fn absorbed_events_keep_their_tid_and_join_the_local_buffer() {
+        let _l = ENABLED_LOCK.lock().unwrap();
+        let m = mark();
+        {
+            let _local = span("local", "t");
+        }
+        let worker_events = std::thread::scope(|s| {
+            s.spawn(|| {
+                let wm = mark();
+                {
+                    let _w = span("worker", "t");
+                }
+                drain_from(wm)
+            })
+            .join()
+            .unwrap()
+        });
+        let worker_tid = worker_events[0].tid;
+        absorb(worker_events);
+        let ev = drain_from(m);
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].name, "local");
+        assert_eq!(ev[1].name, "worker");
+        assert_eq!(ev[1].tid, worker_tid);
+        assert_ne!(ev[0].tid, ev[1].tid);
     }
 
     #[test]
