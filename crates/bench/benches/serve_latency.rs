@@ -1,0 +1,139 @@
+//! Serve-path perf baseline: cold vs warm `POST /assess` latency and
+//! tail latency under 32 concurrent clients, written as
+//! `BENCH_serve.json` (schema `adsafe-bench-serve/1`).
+//!
+//! The bench materialises the test-scale Apollo corpus on disk, runs
+//! an in-process `adsafe-serve` daemon, and talks to it over real TCP
+//! — the same path the CI smoke job and a production client exercise.
+//! Regenerate the committed baseline with:
+//!
+//! ```text
+//! cargo bench -p adsafe-bench --bench serve_latency -- BENCH_serve.json
+//! ```
+
+use adsafe::corpus::{generate, ApolloSpec};
+use adsafe_serve::http;
+use adsafe_serve::{ServeConfig, Server};
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+const CONCURRENT_CLIENTS: usize = 32;
+const REQUESTS_PER_CLIENT: usize = 4;
+/// Warm latency is the fastest of this many repeats.
+const WARM_RUNS: usize = 5;
+
+fn post_assess(addr: SocketAddr, body: &str) -> http::Response {
+    loop {
+        let mut stream = TcpStream::connect(addr).expect("connect to bench server");
+        stream.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+        stream
+            .write_all(&http::encode_request("POST", "/assess", &[], body.as_bytes()))
+            .expect("send assess request");
+        let resp = http::read_response(&mut BufReader::new(stream)).expect("read assess response");
+        if resp.status == 503 {
+            // Backpressure: honour Retry-After like a production client.
+            std::thread::sleep(Duration::from_millis(100));
+            continue;
+        }
+        assert_eq!(resp.status, 200, "{}", resp.body_text());
+        return resp;
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .skip(1)
+        .find(|a| a.ends_with(".json"))
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+
+    // Materialise the corpus: the daemon ingests from a directory.
+    let corpus_root = std::env::temp_dir().join(format!("adsafe-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&corpus_root);
+    let files = generate(&ApolloSpec::test_scale());
+    for f in &files {
+        let path = corpus_root.join(&f.path);
+        std::fs::create_dir_all(path.parent().expect("corpus paths have parents"))
+            .expect("create corpus dirs");
+        std::fs::write(path, &f.text).expect("write corpus file");
+    }
+    eprintln!("serve_latency: corpus of {} files at {}", files.len(), corpus_root.display());
+
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        handlers: 4,
+        queue_capacity: 2 * CONCURRENT_CLIENTS,
+        ..ServeConfig::default()
+    })
+    .expect("bind bench server");
+    let addr = server.addr();
+    let body = format!("{{\"dir\":\"{}\"}}", corpus_root.display());
+
+    // Cold: first request parses everything.
+    let t0 = Instant::now();
+    let cold = post_assess(addr, &body);
+    let cold_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    assert_eq!(cold.header("x-adsafe-cache-hits"), Some("0"), "first request must be cold");
+
+    // Warm: the resident store serves every file.
+    let mut warm_ms = f64::MAX;
+    for _ in 0..WARM_RUNS {
+        let t0 = Instant::now();
+        let warm = post_assess(addr, &body);
+        warm_ms = warm_ms.min(t0.elapsed().as_secs_f64() * 1000.0);
+        assert_eq!(
+            warm.header("x-adsafe-cache-hits"),
+            Some(files.len().to_string().as_str()),
+            "repeat requests must be fully warm"
+        );
+        assert_eq!(warm.body, cold.body, "cold and warm reports must be byte-identical");
+    }
+
+    // Tail latency under concurrency: 32 clients, 4 requests each.
+    let mut latencies_ms: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CONCURRENT_CLIENTS)
+            .map(|_| {
+                let body = &body;
+                scope.spawn(move || {
+                    let mut mine = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                    for _ in 0..REQUESTS_PER_CLIENT {
+                        let t0 = Instant::now();
+                        let _ = post_assess(addr, body);
+                        mine.push(t0.elapsed().as_secs_f64() * 1000.0);
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
+    });
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let quantile = |q: f64| {
+        let idx = ((q * latencies_ms.len() as f64).ceil() as usize)
+            .clamp(1, latencies_ms.len())
+            - 1;
+        latencies_ms[idx]
+    };
+    let p50_ms = quantile(0.50);
+    let p99_ms = quantile(0.99);
+    let rejected = adsafe::trace::counter("serve.rejected").get();
+
+    let stats = server.stop();
+    let _ = std::fs::remove_dir_all(&corpus_root);
+
+    let json = format!(
+        "{{\n  \"schema\": \"adsafe-bench-serve/1\",\n  \"files\": {},\n  \
+         \"cold_ms\": {cold_ms:.2},\n  \"warm_ms\": {warm_ms:.2},\n  \
+         \"concurrent_clients\": {CONCURRENT_CLIENTS},\n  \
+         \"requests\": {},\n  \"p50_ms\": {p50_ms:.2},\n  \"p99_ms\": {p99_ms:.2},\n  \
+         \"rejected_503\": {rejected}\n}}\n",
+        files.len(),
+        stats.requests,
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("serve_latency: cannot write {out_path}: {e}");
+        std::process::exit(3);
+    }
+    print!("{json}");
+    eprintln!("serve_latency: baseline written to {out_path}");
+}

@@ -41,11 +41,35 @@ pub enum CacheLookup {
     Corrupt(String),
 }
 
+/// Anything the pipeline can reuse per-file facts from: the on-disk
+/// [`FactsCache`], or the resident
+/// [`MemoryFactsStore`](crate::store::MemoryFactsStore) an
+/// `adsafe serve` daemon keeps warm across requests. Implementations
+/// must be callable from parallel parse workers (`&self`, `Sync`).
+pub trait FactsStore: Sync {
+    /// Looks up the facts for `hash`, rebinding spans to `file`.
+    fn load(&self, hash: u64, file: FileId) -> CacheLookup;
+
+    /// Records the facts for `hash` (best-effort; failures are
+    /// silent). `path` lets stores keep a path → hash index for
+    /// targeted invalidation; the disk cache ignores it.
+    fn store_entry(&self, hash: u64, path: &str, facts: &FileFacts);
+
+    /// If the store could not be brought up (unwritable directory,
+    /// clobbered `meta.json`, …), the reason — the pipeline logs it as
+    /// a non-degrading `CacheCorrupt` fault and runs cold.
+    fn disabled_detail(&self) -> Option<String> {
+        None
+    }
+}
+
 /// An open (or soft-failed) on-disk facts cache.
 #[derive(Debug)]
 pub struct FactsCache {
     dir: PathBuf,
-    usable: bool,
+    /// `Some(why)` when the directory could not be set up; every
+    /// operation then degrades to a miss/no-op.
+    disabled: Option<String>,
 }
 
 /// FNV-1a 64-bit over `bytes`, seeded with `state` (chainable).
@@ -87,11 +111,18 @@ pub fn ruleset_fingerprint() -> String {
 impl FactsCache {
     /// Opens (creating if needed) the cache at `dir`, wiping it when
     /// the stored fingerprint does not match this build. Never fails:
-    /// an unusable directory degrades every operation to a miss/no-op.
+    /// an unusable directory degrades every operation to a miss/no-op,
+    /// with the reason surfaced through
+    /// [`disabled_detail`](FactsStore::disabled_detail) so the
+    /// pipeline can log a non-degrading `CacheCorrupt` fault instead
+    /// of silently running cold.
     pub fn open(dir: &Path) -> FactsCache {
         let fingerprint = ruleset_fingerprint();
-        if fs::create_dir_all(dir).is_err() {
-            return FactsCache { dir: dir.to_path_buf(), usable: false };
+        if let Err(e) = fs::create_dir_all(dir) {
+            return FactsCache {
+                dir: dir.to_path_buf(),
+                disabled: Some(format!("cannot create cache dir: {e}")),
+            };
         }
         let meta_path = dir.join("meta.json");
         let stored = fs::read_to_string(&meta_path).ok().and_then(|text| {
@@ -110,11 +141,14 @@ impl FactsCache {
             let mut meta = String::from("{\"schema\":\"adsafe-cache/1\",\"fingerprint\":");
             adsafe_trace::json::write_escaped(&mut meta, &fingerprint);
             meta.push('}');
-            if fs::write(&meta_path, meta).is_err() {
-                return FactsCache { dir: dir.to_path_buf(), usable: false };
+            if let Err(e) = fs::write(&meta_path, meta) {
+                return FactsCache {
+                    dir: dir.to_path_buf(),
+                    disabled: Some(format!("cannot write meta.json: {e}")),
+                };
             }
         }
-        FactsCache { dir: dir.to_path_buf(), usable: true }
+        FactsCache { dir: dir.to_path_buf(), disabled: None }
     }
 
     fn entry_path(&self, hash: u64) -> PathBuf {
@@ -125,7 +159,7 @@ impl FactsCache {
     /// `file`. Emits the `cache.hits`/`cache.misses`/`cache.corrupt`
     /// counter for the outcome.
     pub fn load(&self, hash: u64, file: FileId) -> CacheLookup {
-        if !self.usable {
+        if self.disabled.is_some() {
             adsafe_trace::counter("cache.misses").incr();
             return CacheLookup::Miss;
         }
@@ -156,17 +190,53 @@ impl FactsCache {
     /// Emits `cache.stores` on success; failures are silent — the next
     /// run simply misses.
     pub fn store(&self, hash: u64, facts: &FileFacts) {
-        if !self.usable {
-            return;
+        if self.write_json(hash, &facts.to_json()) {
+            adsafe_trace::counter("cache.stores").incr();
+        }
+    }
+
+    /// Writes an already-serialised entry (the memory store's lazy
+    /// write-back path). Emits `cache.writeback` on success.
+    pub fn store_raw(&self, hash: u64, json: &str) -> bool {
+        let ok = self.write_json(hash, json);
+        if ok {
+            adsafe_trace::counter("cache.writeback").incr();
+        }
+        ok
+    }
+
+    fn write_json(&self, hash: u64, json: &str) -> bool {
+        if self.disabled.is_some() {
+            return false;
         }
         let tmp = self.dir.join(format!(".tmp-{}-{hash:016x}", std::process::id()));
-        if fs::write(&tmp, facts.to_json()).is_ok()
-            && fs::rename(&tmp, self.entry_path(hash)).is_ok()
-        {
-            adsafe_trace::counter("cache.stores").incr();
+        if fs::write(&tmp, json).is_ok() && fs::rename(&tmp, self.entry_path(hash)).is_ok() {
+            true
         } else {
             let _ = fs::remove_file(&tmp);
+            false
         }
+    }
+
+    /// Removes the entry for `hash`, if present.
+    pub fn evict(&self, hash: u64) {
+        if self.disabled.is_none() {
+            let _ = fs::remove_file(self.entry_path(hash));
+        }
+    }
+}
+
+impl FactsStore for FactsCache {
+    fn load(&self, hash: u64, file: FileId) -> CacheLookup {
+        FactsCache::load(self, hash, file)
+    }
+
+    fn store_entry(&self, hash: u64, _path: &str, facts: &FileFacts) {
+        FactsCache::store(self, hash, facts);
+    }
+
+    fn disabled_detail(&self) -> Option<String> {
+        self.disabled.clone()
     }
 }
 
@@ -220,6 +290,57 @@ mod tests {
         fs::write(dir.join(format!("{h:016x}.json")), "{not json").unwrap();
         assert!(matches!(cache.load(h, FileId(0)), CacheLookup::Corrupt(_)));
         // The bad entry was evicted → second lookup is a plain miss.
+        assert!(matches!(cache.load(h, FileId(0)), CacheLookup::Miss));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn occupied_cache_path_disables_with_detail() {
+        // A regular file where the cache dir should be: create_dir_all
+        // fails for any user (unlike a read-only dir, which root
+        // bypasses), standing in for every unwritable-dir failure.
+        let path = temp_dir("occupied");
+        fs::write(&path, "not a directory").unwrap();
+        let cache = FactsCache::open(&path);
+        let detail = cache.disabled_detail().expect("unusable cache reports why");
+        assert!(detail.contains("cannot create cache dir"), "{detail}");
+        // Every operation degrades to a miss/no-op, never an error.
+        let h = content_hash("m/a.cc", "text");
+        cache.store(h, &FileFacts::default());
+        assert!(matches!(cache.load(h, FileId(0)), CacheLookup::Miss));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn readonly_cache_dir_disables_with_detail() {
+        use std::os::unix::fs::PermissionsExt;
+        let dir = temp_dir("readonly");
+        fs::create_dir_all(&dir).unwrap();
+        fs::set_permissions(&dir, fs::Permissions::from_mode(0o555)).unwrap();
+        // Root ignores permission bits; only assert when the kernel
+        // actually enforces them.
+        let enforced = fs::write(dir.join(".probe"), "x").is_err();
+        if enforced {
+            let cache = FactsCache::open(&dir);
+            let detail = cache.disabled_detail().expect("read-only dir must disable");
+            assert!(detail.contains("meta.json"), "{detail}");
+        }
+        fs::set_permissions(&dir, fs::Permissions::from_mode(0o755)).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_raw_round_trips_and_evicts() {
+        let dir = temp_dir("raw");
+        let cache = FactsCache::open(&dir);
+        let facts = FileFacts { recovery_count: 1, ..FileFacts::default() };
+        let h = content_hash("m/raw.cc", "text");
+        assert!(cache.store_raw(h, &facts.to_json()));
+        match cache.load(h, FileId(0)) {
+            CacheLookup::Hit(f) => assert_eq!(f, facts),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        cache.evict(h);
         assert!(matches!(cache.load(h, FileId(0)), CacheLookup::Miss));
         let _ = fs::remove_dir_all(&dir);
     }

@@ -40,8 +40,10 @@ pub mod facts;
 pub mod fault;
 pub mod pipeline;
 pub mod render;
+pub mod store;
 
-pub use cache::{content_hash, ruleset_fingerprint, CacheLookup, FactsCache};
+pub use cache::{content_hash, ruleset_fingerprint, CacheLookup, FactsCache, FactsStore};
+pub use store::MemoryFactsStore;
 pub use fault::{Fault, FaultCause, FaultLog, FaultPhase, FaultSeverity, Recovery};
 pub use pipeline::{assess_corpus, Assessment, AssessmentOptions, AssessmentReport, Budgets};
 pub use adsafe_trace::TraceSummary;

@@ -36,8 +36,9 @@
 //! cross-file quantity is recomputed from facts on every run (see
 //! [`crate::facts`]).
 
-use crate::cache::{content_hash, CacheLookup, FactsCache};
+use crate::cache::{content_hash, CacheLookup, FactsCache, FactsStore};
 use crate::facts::{self, FactsRecord, FileFacts};
+use crate::store::MemoryFactsStore;
 use crate::fault::{
     failpoints, panic_message, Fault, FaultCause, FaultLog, FaultPhase, FaultSeverity, Recovery,
 };
@@ -129,8 +130,13 @@ pub struct AssessmentOptions {
     /// the serial pipeline; `0` means one worker per available core.
     pub jobs: usize,
     /// Directory for the incremental facts cache. `None` (the default)
-    /// disables caching.
+    /// disables caching. Ignored when [`store`](Self::store) is set.
     pub cache_dir: Option<PathBuf>,
+    /// A resident in-memory facts store shared across runs (the
+    /// `adsafe serve` daemon's warm state). Takes precedence over
+    /// [`cache_dir`](Self::cache_dir); the store decides its own disk
+    /// backing and write-back policy.
+    pub store: Option<std::sync::Arc<MemoryFactsStore>>,
 }
 
 impl Default for AssessmentOptions {
@@ -142,6 +148,7 @@ impl Default for AssessmentOptions {
             budgets: Budgets::default(),
             jobs: 1,
             cache_dir: None,
+            store: None,
         }
     }
 }
@@ -299,7 +306,33 @@ impl Assessment {
         let budgets = self.options.budgets;
         let pool = Pool::new(self.options.jobs);
         adsafe_trace::counter("pool.workers").add(pool.workers() as u64);
-        let cache = self.options.cache_dir.as_deref().map(FactsCache::open);
+        // Facts reuse: a shared resident store when the caller provides
+        // one (the serve daemon), else a per-run disk cache.
+        let disk_cache = match (&self.options.store, &self.options.cache_dir) {
+            (None, Some(dir)) => Some(FactsCache::open(dir)),
+            _ => None,
+        };
+        let cache: Option<&dyn FactsStore> = match &self.options.store {
+            Some(s) => Some(s.as_ref()),
+            None => disk_cache.as_ref().map(|c| c as &dyn FactsStore),
+        };
+        // A cache that could not be brought up (unwritable directory,
+        // clobbered meta.json, …) is an accelerator loss, not an
+        // evidence loss: note it and fall through to cold analysis.
+        if let Some(detail) = cache.and_then(|c| c.disabled_detail()) {
+            adsafe_trace::counter("cache.disabled").incr();
+            log.push(Fault {
+                phase: FaultPhase::Ingest,
+                path: self
+                    .options
+                    .cache_dir
+                    .as_deref()
+                    .map_or_else(|| "facts-store".to_string(), |d| d.display().to_string()),
+                severity: FaultSeverity::Info,
+                cause: FaultCause::CacheCorrupt { detail },
+                recovery: Recovery::Noted,
+            });
+        }
 
         // Phase 1: parse, descending the ladder per file. File ids are
         // assigned serially (so they are identical run-to-run and
@@ -311,7 +344,7 @@ impl Assessment {
         let sm = sm;
         let deadline = PhaseDeadline::new(&budgets);
         let outcomes = pool.map((0..self.files.len()).collect(), |_, i| {
-            parse_one(&sm, ids[i], &self.files[i], &deadline, &budgets, cache.as_ref())
+            parse_one(&sm, ids[i], &self.files[i], &deadline, &budgets, cache)
         });
 
         let mut loaded: Vec<LoadedFile> = Vec::new();
@@ -555,13 +588,13 @@ impl Assessment {
         // a cached entry must replay the complete file-local rule set,
         // and recoverable faults (resync, panics) must recur on warm
         // runs rather than being papered over.
-        if let Some(c) = &cache {
+        if let Some(c) = cache {
             if skipped.is_empty() {
                 for (li, l) in loaded.iter().enumerate() {
                     if l.parsed.is_some() && l.cache_ok && checks_ok[li] {
                         let mut entry = l.facts.clone();
                         entry.diags = buckets.remove(&li).unwrap_or_default();
-                        c.store(l.hash, &entry);
+                        c.store_entry(l.hash, &self.files[l.file_idx].path, &entry);
                     }
                 }
             }
@@ -832,7 +865,7 @@ fn parse_one(
     rf: &RawFile,
     deadline: &PhaseDeadline,
     budgets: &Budgets,
-    cache: Option<&FactsCache>,
+    cache: Option<&dyn FactsStore>,
 ) -> ParseOutcome {
     let _file_span =
         adsafe_trace::span_with("parse.file", "parse", vec![("path", rf.path.clone())]);

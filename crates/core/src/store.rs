@@ -1,0 +1,267 @@
+//! Resident in-memory facts store for long-lived assessment services.
+//!
+//! The on-disk [`FactsCache`](crate::cache::FactsCache) makes *cold
+//! process starts* cheap; this store makes *warm requests* cheap. An
+//! `adsafe serve` daemon keeps one [`MemoryFactsStore`] alive across
+//! requests, so a repeated `POST /assess` over an unchanged corpus
+//! performs zero parse-phase work: every file resolves to a resident
+//! entry keyed by content hash.
+//!
+//! Entries are held in the same serialised form the disk cache uses
+//! (`FileFacts::to_json`), for two reasons: loading must rebind
+//! diagnostic spans to the *current* run's `FileId` (exactly what
+//! `FileFacts::from_json` does), and memory and disk then share one
+//! validation path — an entry that round-trips from memory is
+//! byte-for-byte the entry that would round-trip from disk, which is
+//! what keeps served reports identical to CLI reports.
+//!
+//! With a backing directory ([`MemoryFactsStore::open`] with
+//! `Some(dir)`), misses fall through to the disk cache (promoting hits
+//! into memory) and new entries are written back **lazily**: they stay
+//! dirty in memory until [`flush`](MemoryFactsStore::flush), which the
+//! server calls on graceful shutdown — requests never pay disk-write
+//! latency.
+//!
+//! A secondary path → hash index supports targeted invalidation
+//! (`POST /invalidate`): dropping a path removes the resident entry
+//! *and* evicts the disk entry, so the next request re-analyses from
+//! source.
+
+use crate::cache::{CacheLookup, FactsCache, FactsStore};
+use crate::facts::FileFacts;
+use adsafe_lang::FileId;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::RwLock;
+
+/// One resident entry: the serialised facts and whether it still needs
+/// writing back to the disk cache.
+#[derive(Debug, Clone)]
+struct Entry {
+    path: String,
+    json: String,
+    dirty: bool,
+}
+
+/// A thread-safe facts store resident in process memory, with optional
+/// lazy write-back to an on-disk [`FactsCache`].
+#[derive(Debug)]
+pub struct MemoryFactsStore {
+    entries: RwLock<HashMap<u64, Entry>>,
+    disk: Option<FactsCache>,
+}
+
+impl MemoryFactsStore {
+    /// Creates a store, backed by the disk cache at `dir` when given
+    /// (misses fall through, dirty entries flush there on
+    /// [`flush`](Self::flush)); memory-only otherwise.
+    pub fn open(dir: Option<&Path>) -> MemoryFactsStore {
+        MemoryFactsStore {
+            entries: RwLock::new(HashMap::new()),
+            disk: dir.map(FactsCache::open),
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.read().expect("facts store poisoned").len()
+    }
+
+    /// Whether no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops the resident (and backing disk) entries for every path in
+    /// `paths`; returns how many resident entries were dropped.
+    pub fn invalidate_paths(&self, paths: &[String]) -> usize {
+        let mut map = self.entries.write().expect("facts store poisoned");
+        let victims: Vec<u64> = map
+            .iter()
+            .filter(|(_, e)| paths.contains(&e.path))
+            .map(|(h, _)| *h)
+            .collect();
+        for h in &victims {
+            map.remove(h);
+            if let Some(d) = &self.disk {
+                d.evict(*h);
+            }
+        }
+        adsafe_trace::counter("store.invalidated").add(victims.len() as u64);
+        adsafe_trace::gauge("store.entries").set(map.len() as u64);
+        victims.len()
+    }
+
+    /// Drops every resident entry (disk entries are left for the
+    /// fingerprint machinery); returns how many were dropped.
+    pub fn invalidate_all(&self) -> usize {
+        let mut map = self.entries.write().expect("facts store poisoned");
+        let n = map.len();
+        for (h, _) in map.drain() {
+            if let Some(d) = &self.disk {
+                d.evict(h);
+            }
+        }
+        adsafe_trace::counter("store.invalidated").add(n as u64);
+        adsafe_trace::gauge("store.entries").set(0);
+        n
+    }
+
+    /// Writes every dirty entry back to the backing disk cache (no-op
+    /// when memory-only); returns how many entries were written. The
+    /// server calls this while draining on graceful shutdown.
+    pub fn flush(&self) -> usize {
+        let Some(disk) = &self.disk else { return 0 };
+        let mut map = self.entries.write().expect("facts store poisoned");
+        let mut written = 0;
+        for (hash, entry) in map.iter_mut() {
+            if entry.dirty && disk.store_raw(*hash, &entry.json) {
+                entry.dirty = false;
+                written += 1;
+            }
+        }
+        written
+    }
+}
+
+impl FactsStore for MemoryFactsStore {
+    fn load(&self, hash: u64, file: FileId) -> CacheLookup {
+        let resident = {
+            let map = self.entries.read().expect("facts store poisoned");
+            map.get(&hash).map(|e| e.json.clone())
+        };
+        if let Some(json) = resident {
+            return match FileFacts::from_json(&json, file) {
+                Ok(facts) => {
+                    adsafe_trace::counter("cache.hits").incr();
+                    adsafe_trace::counter("store.memory_hits").incr();
+                    CacheLookup::Hit(facts)
+                }
+                Err(detail) => {
+                    // Evict the unusable entry; the cold path rebuilds it.
+                    adsafe_trace::counter("cache.corrupt").incr();
+                    self.entries.write().expect("facts store poisoned").remove(&hash);
+                    CacheLookup::Corrupt(detail)
+                }
+            };
+        }
+        match &self.disk {
+            // The disk cache emits its own hit/miss/corrupt counters.
+            Some(disk) => match disk.load(hash, file) {
+                CacheLookup::Hit(facts) => {
+                    let mut map = self.entries.write().expect("facts store poisoned");
+                    map.insert(
+                        hash,
+                        Entry { path: String::new(), json: facts.to_json(), dirty: false },
+                    );
+                    adsafe_trace::gauge("store.entries").set(map.len() as u64);
+                    CacheLookup::Hit(facts)
+                }
+                other => other,
+            },
+            None => {
+                adsafe_trace::counter("cache.misses").incr();
+                CacheLookup::Miss
+            }
+        }
+    }
+
+    fn store_entry(&self, hash: u64, path: &str, facts: &FileFacts) {
+        let mut map = self.entries.write().expect("facts store poisoned");
+        map.insert(
+            hash,
+            Entry { path: path.to_string(), json: facts.to_json(), dirty: true },
+        );
+        adsafe_trace::counter("cache.stores").incr();
+        adsafe_trace::gauge("store.entries").set(map.len() as u64);
+    }
+
+    fn disabled_detail(&self) -> Option<String> {
+        self.disk.as_ref().and_then(FactsStore::disabled_detail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::content_hash;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU32 = AtomicU32::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let d = std::env::temp_dir().join(format!(
+            "adsafe-store-test-{}-{tag}-{n}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn memory_round_trip_and_invalidate() {
+        let store = MemoryFactsStore::open(None);
+        let facts = FileFacts { recovery_count: 3, ..FileFacts::default() };
+        let h = content_hash("m/a.cc", "text");
+        store.store_entry(h, "m/a.cc", &facts);
+        assert_eq!(store.len(), 1);
+        match store.load(h, FileId(7)) {
+            CacheLookup::Hit(f) => assert_eq!(f, facts),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert!(matches!(store.load(h ^ 1, FileId(0)), CacheLookup::Miss));
+        assert_eq!(store.invalidate_paths(&["m/other.cc".to_string()]), 0);
+        assert_eq!(store.invalidate_paths(&["m/a.cc".to_string()]), 1);
+        assert!(store.is_empty());
+        assert!(matches!(store.load(h, FileId(0)), CacheLookup::Miss));
+    }
+
+    #[test]
+    fn flush_writes_back_and_disk_promotes() {
+        let dir = temp_dir("flush");
+        let facts = FileFacts::default();
+        let h = content_hash("m/b.cc", "text");
+        {
+            let store = MemoryFactsStore::open(Some(&dir));
+            store.store_entry(h, "m/b.cc", &facts);
+            // Lazy write-back: nothing on disk until flush.
+            assert!(matches!(FactsCache::open(&dir).load(h, FileId(0)), CacheLookup::Miss));
+            assert_eq!(store.flush(), 1);
+            assert_eq!(store.flush(), 0, "clean entries are not rewritten");
+        }
+        // A fresh store (fresh process) promotes the disk entry.
+        let store2 = MemoryFactsStore::open(Some(&dir));
+        assert!(matches!(store2.load(h, FileId(2)), CacheLookup::Hit(_)));
+        assert_eq!(store2.len(), 1, "disk hit was promoted into memory");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalidate_evicts_the_disk_entry_too() {
+        let dir = temp_dir("evict");
+        let store = MemoryFactsStore::open(Some(&dir));
+        let h = content_hash("m/c.cc", "text");
+        store.store_entry(h, "m/c.cc", &FileFacts::default());
+        store.flush();
+        assert_eq!(store.invalidate_paths(&["m/c.cc".to_string()]), 1);
+        assert!(
+            matches!(store.load(h, FileId(0)), CacheLookup::Miss),
+            "neither memory nor disk may resurrect an invalidated path"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disabled_backing_dir_is_surfaced() {
+        let path = temp_dir("disabled");
+        std::fs::write(&path, "not a directory").unwrap();
+        let store = MemoryFactsStore::open(Some(&path));
+        assert!(store.disabled_detail().is_some());
+        // Memory side still works.
+        let h = content_hash("m/d.cc", "x");
+        store.store_entry(h, "m/d.cc", &FileFacts::default());
+        assert!(matches!(store.load(h, FileId(0)), CacheLookup::Hit(_)));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -171,7 +171,7 @@ mod tests {
     #[test]
     fn centered_object_is_detected() {
         let h = harness_with_drivers();
-        let (_, outcomes) = h.measure(&real_scenarios()[..1].to_vec());
+        let (_, outcomes) = h.measure(&real_scenarios()[..1]);
         let n = outcomes[0].result.as_ref().unwrap().as_i64();
         assert!(n >= 1, "expected at least one detection, got {n}");
     }
@@ -187,7 +187,7 @@ mod tests {
             .collect();
         assert_eq!(measured.len(), YOLO_FILES.len());
         let avg = |f: &dyn Fn(&&adsafe_coverage::AggregateCoverage) -> f64| {
-            measured.iter().map(|c| f(c)).sum::<f64>() / measured.len() as f64
+            measured.iter().map(&f).sum::<f64>() / measured.len() as f64
         };
         let stmt_avg = avg(&|c| c.statement_pct(true));
         let branch_avg = avg(&|c| c.branch_pct(true));

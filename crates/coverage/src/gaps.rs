@@ -181,7 +181,7 @@ mod tests {
     use crate::interp::{Interp, Program};
     use crate::probes::enumerate_probes;
     use crate::value::Value;
-    use adsafe_lang::{parse_source, FileId, SourceMap};
+    use adsafe_lang::{parse_source, SourceMap};
 
     fn run_and_gaps(src: &str, calls: &[(i64, i64)]) -> (Vec<Gap>, SourceMap) {
         let mut sm = SourceMap::new();
@@ -230,8 +230,8 @@ mod tests {
         // a && b, condition 0 (a): suggestion must hold b constant true.
         let eval = |v: &[bool]| v[0] && v[1];
         let s = suggest_mcdc_pair(&[], 2, 0, eval).expect("pair exists");
-        assert_eq!(s.vector_a[0], true);
-        assert_eq!(s.vector_b[0], false);
+        assert!(s.vector_a[0]);
+        assert!(!s.vector_b[0]);
         assert_eq!(s.vector_a[1], s.vector_b[1]);
         assert!(s.vector_a[1], "b must be true for a to matter");
     }

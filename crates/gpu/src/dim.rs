@@ -137,7 +137,7 @@ mod tests {
             grid_dim: Dim3::xy(4, 4),
         };
         assert_eq!(ctx.global_x(), 2 * 16 + 3);
-        assert_eq!(ctx.global_y(), 1 * 8 + 4);
+        assert_eq!(ctx.global_y(), 8 + 4);
         assert_eq!(ctx.thread_rank(), 4 * 16 + 3);
         assert_eq!(ctx.block_size(), 128);
     }

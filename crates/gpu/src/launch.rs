@@ -274,7 +274,7 @@ mod tests {
         // reads its neighbour. Without the barrier this would read
         // uninitialised data for threads later in the order.
         const N: usize = 8;
-        let mut out = vec![0.0f32; N];
+        let mut out = [0.0f32; N];
         launch_phased(
             1u32,
             N as u32,
@@ -324,7 +324,7 @@ mod tests {
     #[test]
     fn budgeted_launch_passes_well_formed_kernel() {
         const N: usize = 8;
-        let mut out = vec![0.0f32; N];
+        let mut out = [0.0f32; N];
         let stats = launch_phased_budgeted(
             1u32,
             N as u32,

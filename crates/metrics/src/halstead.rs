@@ -157,7 +157,7 @@ mod tests {
 
     #[test]
     fn maintainability_index_is_clamped_and_total() {
-        assert_eq!(maintainability_index(0.0, 0, 0).is_nan(), false);
+        assert!(!maintainability_index(0.0, 0, 0).is_nan());
         assert!(maintainability_index(1e12, 1000, 1_000_000) >= 0.0);
         assert!(maintainability_index(1.0, 1, 1) <= 100.0);
     }

@@ -21,8 +21,17 @@
 //! the scope joins, each worker's drained events are re-absorbed into
 //! the calling thread's buffer via [`adsafe_trace::absorb`], so one
 //! `drain_from` on the caller still observes the whole parallel run.
+//!
+//! For resident services the crate also provides [`Executor`]: a
+//! long-lived bounded-queue thread pool with backpressure
+//! (`pool.queue_depth` gauge, `pool.tasks_rejected` counter) and
+//! graceful drain-on-shutdown — see [`executor`].
 
 #![warn(missing_docs)]
+
+pub mod executor;
+
+pub use executor::Executor;
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -259,6 +268,6 @@ mod tests {
         let tasks = events.iter().filter(|e| e.name == "pool.task").count();
         let workers = events.iter().filter(|e| e.name == "pool.worker").count();
         assert_eq!(tasks, 16);
-        assert!(workers >= 1 && workers <= 4, "workers={workers}");
+        assert!((1..=4).contains(&workers), "workers={workers}");
     }
 }

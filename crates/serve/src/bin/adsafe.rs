@@ -3,8 +3,10 @@
 //!
 //! ```text
 //! adsafe assess <dir> [--asil A|B|C|D] [--report out.md] [--diagnostics]
-//!                     [--jobs N] [--no-cache]
+//!                     [--jobs N] [--no-cache] [--cache-dir PATH]
 //!                     [--trace-out t.json] [--profile] [-v] [-q]
+//! adsafe serve [--addr HOST:PORT] [--jobs N] [--handlers N] [--queue N]
+//!              [--cache-dir PATH]           # resident HTTP daemon
 //! adsafe check <file> [<file>...]          # rule findings only
 //! adsafe tables                            # print the Part-6 tables
 //! adsafe trace-compare <baseline> <current> # perf regression gate
@@ -17,10 +19,17 @@
 //! Performance flags (see DESIGN.md §8): `--jobs N` fans the parse,
 //! checks, and metrics phases out over N work-stealing workers (`0` =
 //! one per core; default `0` for `assess`), and the incremental facts
-//! cache at `<dir>/.adsafe-cache/` — on by default, disabled with
-//! `--no-cache` — lets warm runs skip parse, file-local checks, and
-//! metrics extraction for unchanged files. Reports are byte-identical
-//! either way.
+//! cache at `<dir>/.adsafe-cache/` — on by default, relocated with
+//! `--cache-dir PATH`, disabled with `--no-cache` (combining the two
+//! is a usage error) — lets warm runs skip parse, file-local checks,
+//! and metrics extraction for unchanged files. Reports are
+//! byte-identical either way.
+//!
+//! `adsafe serve` (see DESIGN.md §9) keeps the facts store and thread
+//! pool resident behind an HTTP/1.1 interface (`POST /assess`,
+//! `GET /metrics`, `GET /healthz`, `POST /invalidate` — curl examples
+//! in README.md). SIGTERM / ctrl-c drains in-flight requests and
+//! flushes the facts store before exiting.
 //!
 //! Observability flags (see DESIGN.md §7): `--trace-out` writes the
 //! run's spans as Chrome trace-event JSON (loadable in
@@ -42,21 +51,24 @@
 
 use adsafe::iso26262::Asil;
 use adsafe::{render, Assessment, AssessmentOptions};
+use adsafe_serve::exit_code_for;
+use adsafe_serve::fsutil::{collect_sources, module_of};
+use adsafe_serve::{ServeConfig, Server};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 
-const SOURCE_EXTENSIONS: [&str; 8] = ["c", "cc", "cpp", "cxx", "cu", "h", "hpp", "cuh"];
-
-const EXIT_OK: i32 = 0;
-const EXIT_BLOCKING: i32 = 1;
-const EXIT_USAGE: i32 = 2;
-const EXIT_IO: i32 = 3;
-const EXIT_DEGRADED: i32 = 4;
-const EXIT_DEGRADED_BLOCKING: i32 = 5;
+const EXIT_OK: i32 = adsafe_serve::exit::OK;
+const EXIT_BLOCKING: i32 = adsafe_serve::exit::BLOCKING;
+const EXIT_USAGE: i32 = adsafe_serve::exit::USAGE;
+const EXIT_IO: i32 = adsafe_serve::exit::IO;
+const EXIT_DEGRADED: i32 = adsafe_serve::exit::DEGRADED;
+const EXIT_DEGRADED_BLOCKING: i32 = adsafe_serve::exit::DEGRADED_BLOCKING;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("assess") => cmd_assess(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("tables") => cmd_tables(),
         Some("trace-compare") => cmd_trace_compare(&args[1..]),
@@ -65,43 +77,18 @@ fn main() {
         _ => {
             eprintln!(
                 "usage:\n  adsafe assess <dir> [--asil A|B|C|D] [--report out.md] [--diagnostics]\n  \
-                 {:17}[--jobs N] [--no-cache]\n  \
+                 {:17}[--jobs N] [--no-cache] [--cache-dir PATH]\n  \
                  {:17}[--trace-out t.json] [--profile] [-v] [-q]\n  \
+                 adsafe serve [--addr HOST:PORT] [--jobs N] [--handlers N] [--queue N]\n  \
+                 {:13}[--cache-dir PATH]\n  \
                  adsafe check <file> [<file>...]\n  adsafe tables\n  \
                  adsafe trace-compare <baseline.json> <current.json>",
-                "", ""
+                "", "", ""
             );
             EXIT_USAGE
         }
     };
     std::process::exit(code);
-}
-
-fn collect_sources(root: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(root) else { return };
-    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
-    entries.sort();
-    for path in entries {
-        if path.is_dir() {
-            collect_sources(&path, out);
-        } else if path
-            .extension()
-            .and_then(|e| e.to_str())
-            .is_some_and(|e| SOURCE_EXTENSIONS.contains(&e))
-        {
-            out.push(path);
-        }
-    }
-}
-
-fn module_of(root: &Path, file: &Path) -> String {
-    file.strip_prefix(root)
-        .ok()
-        .and_then(|rel| rel.components().next())
-        .and_then(|c| c.as_os_str().to_str())
-        .filter(|c| !c.contains('.'))
-        .unwrap_or("root")
-        .to_string()
 }
 
 fn parse_asil(s: &str) -> Option<Asil> {
@@ -112,17 +99,6 @@ fn parse_asil(s: &str) -> Option<Asil> {
         "D" => Some(Asil::D),
         "QM" => Some(Asil::Qm),
         _ => None,
-    }
-}
-
-/// Folds the report's outcome into the exit-code contract.
-fn exit_code_for(report: &adsafe::AssessmentReport) -> i32 {
-    let blocking = report.compliance.blocking_count() > 0;
-    match (report.degraded, blocking) {
-        (false, false) => EXIT_OK,
-        (false, true) => EXIT_BLOCKING,
-        (true, false) => EXIT_DEGRADED,
-        (true, true) => EXIT_DEGRADED_BLOCKING,
     }
 }
 
@@ -165,6 +141,7 @@ fn cmd_assess(args: &[String]) -> i32 {
     let mut quiet = false;
     let mut jobs = 0usize; // 0 = one worker per core
     let mut use_cache = true;
+    let mut cache_dir_override: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -179,6 +156,16 @@ fn cmd_assess(args: &[String]) -> i32 {
                 }
             }
             "--no-cache" => use_cache = false,
+            "--cache-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => cache_dir_override = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("assess: --cache-dir needs a path");
+                        return EXIT_USAGE;
+                    }
+                }
+            }
             "--asil" => {
                 i += 1;
                 match args.get(i).and_then(|s| parse_asil(s)) {
@@ -217,6 +204,10 @@ fn cmd_assess(args: &[String]) -> i32 {
         }
         i += 1;
     }
+    if !use_cache && cache_dir_override.is_some() {
+        eprintln!("assess: --no-cache and --cache-dir are mutually exclusive");
+        return EXIT_USAGE;
+    }
     let Some(dir) = dir else {
         eprintln!("assess: missing <dir>");
         return EXIT_USAGE;
@@ -237,7 +228,8 @@ fn cmd_assess(args: &[String]) -> i32 {
         eprintln!("assessing {} files under {dir} at {asil} ...", files.len());
     }
 
-    let cache_dir = use_cache.then(|| root.join(".adsafe-cache"));
+    let cache_dir = use_cache
+        .then(|| cache_dir_override.unwrap_or_else(|| root.join(".adsafe-cache")));
     let mut assessment = Assessment::new().with_options(AssessmentOptions {
         asil,
         jobs,
@@ -319,6 +311,120 @@ fn cmd_assess(args: &[String]) -> i32 {
         }
     }
     exit_code_for(&report)
+}
+
+/// Set by the SIGINT/SIGTERM handler; `cmd_serve` polls it.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_shutdown_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Installs `on_shutdown_signal` for SIGINT (2) and SIGTERM (15) via
+/// the raw `signal(2)` syscall wrapper — std links libc but exposes no
+/// signal API, and this workspace vendors no external crates.
+fn install_shutdown_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    unsafe {
+        signal(2, on_shutdown_signal);
+        signal(15, on_shutdown_signal);
+    }
+}
+
+/// `adsafe serve`: run the resident assessment daemon until SIGTERM or
+/// ctrl-c, then drain in-flight requests and flush the facts store.
+fn cmd_serve(args: &[String]) -> i32 {
+    let mut config = ServeConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                match args.get(i) {
+                    Some(a) => config.addr = a.clone(),
+                    None => {
+                        eprintln!("serve: --addr needs HOST:PORT");
+                        return EXIT_USAGE;
+                    }
+                }
+            }
+            "--jobs" | "-j" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) => config.jobs = n,
+                    None => {
+                        eprintln!("serve: --jobs needs a worker count (0 = auto)");
+                        return EXIT_USAGE;
+                    }
+                }
+            }
+            "--handlers" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => config.handlers = n,
+                    _ => {
+                        eprintln!("serve: --handlers needs a positive count");
+                        return EXIT_USAGE;
+                    }
+                }
+            }
+            "--queue" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => config.queue_capacity = n,
+                    _ => {
+                        eprintln!("serve: --queue needs a positive capacity");
+                        return EXIT_USAGE;
+                    }
+                }
+            }
+            "--cache-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => config.cache_dir = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("serve: --cache-dir needs a path");
+                        return EXIT_USAGE;
+                    }
+                }
+            }
+            other => {
+                eprintln!("serve: unknown option `{other}`");
+                return EXIT_USAGE;
+            }
+        }
+        i += 1;
+    }
+    let server = match Server::start(config.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: cannot bind {}: {e}", config.addr);
+            return EXIT_IO;
+        }
+    };
+    eprintln!(
+        "adsafe serve listening on {} ({} handler(s), queue {}, cache {})",
+        server.addr(),
+        config.handlers,
+        config.queue_capacity,
+        config
+            .cache_dir
+            .as_deref()
+            .map_or_else(|| "memory-only".to_string(), |d| d.display().to_string())
+    );
+    install_shutdown_handlers();
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    eprintln!("serve: shutdown requested; draining in-flight requests ...");
+    let stats = server.stop();
+    eprintln!(
+        "serve: drained; {} request(s) served, {} facts entr(ies) flushed",
+        stats.requests, stats.flushed_entries
+    );
+    EXIT_OK
 }
 
 /// Prints the `--profile` digest: per-phase wall time, slowest files

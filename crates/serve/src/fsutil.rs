@@ -1,0 +1,53 @@
+//! Source discovery shared by the CLI and the daemon: both walk a
+//! corpus directory the same way, so a served assessment sees exactly
+//! the file set (and module grouping) a CLI run would.
+
+use std::path::{Path, PathBuf};
+
+/// File extensions the assessment ingests.
+pub const SOURCE_EXTENSIONS: [&str; 8] = ["c", "cc", "cpp", "cxx", "cu", "h", "hpp", "cuh"];
+
+/// Collects every C/C++/CUDA source under `root`, depth-first in
+/// sorted directory order — the stable enumeration both determinism
+/// gates (CLI vs HTTP byte-identity) rely on.
+pub fn collect_sources(root: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(root) else { return };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_sources(&path, out);
+        } else if path
+            .extension()
+            .and_then(|e| e.to_str())
+            .is_some_and(|e| SOURCE_EXTENSIONS.contains(&e))
+        {
+            out.push(path);
+        }
+    }
+}
+
+/// Maps a file to its module: the top-level directory under `root`,
+/// mirroring how the paper treats Apollo's module tree.
+pub fn module_of(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .ok()
+        .and_then(|rel| rel.components().next())
+        .and_then(|c| c.as_os_str().to_str())
+        .filter(|c| !c.contains('.'))
+        .unwrap_or("root")
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_is_the_top_level_directory() {
+        let root = Path::new("/corpus");
+        assert_eq!(module_of(root, Path::new("/corpus/perception/a.cc")), "perception");
+        assert_eq!(module_of(root, Path::new("/corpus/top.cc")), "root");
+        assert_eq!(module_of(Path::new("/x"), Path::new("/y/a.cc")), "root");
+    }
+}

@@ -1,0 +1,61 @@
+//! # adsafe-serve — the resident assessment daemon
+//!
+//! `adsafe serve` keeps the expensive parts of an assessment — the
+//! facts cache, the string interner, the thread pool — alive across
+//! runs, turning the CLI's cold-start cost into a one-time price. A
+//! repeated `POST /assess` over an unchanged corpus does **zero**
+//! parse-phase work: every file resolves against the resident
+//! [`MemoryFactsStore`](adsafe::MemoryFactsStore), and the response
+//! body is byte-identical to what `adsafe assess` prints, because both
+//! render [`deterministic_report_markdown`](adsafe::render::deterministic_report_markdown)
+//! over the same pipeline.
+//!
+//! The daemon is std-only like everything else in the workspace: the
+//! HTTP/1.1 codec lives in [`http`] (defensive, property-tested, never
+//! panics on wire input), and requests flow accept-loop → bounded
+//! queue → [`adsafe_pool::Executor`] workers. A full queue answers
+//! `503` with `Retry-After` instead of buffering unboundedly; a
+//! handler panic answers `500` with a fault summary and the daemon
+//! keeps serving. Graceful shutdown (SIGTERM / ctrl-c in the CLI)
+//! drains in-flight requests, flushes the facts store's dirty entries
+//! to the disk cache, and exits under the CLI's 0–5 exit-code
+//! contract. See DESIGN.md §9.
+//!
+//! Endpoints: `POST /assess`, `GET /metrics`, `GET /healthz`,
+//! `POST /invalidate` — curl examples in README.md §Serving.
+
+#![warn(missing_docs)]
+
+pub mod fsutil;
+pub mod http;
+pub mod server;
+
+pub use server::{Server, ServeConfig, ServeStats};
+
+/// Exit codes shared by the CLI and the daemon's `X-Adsafe-Exit-Code`
+/// header (documented in README.md; scripts rely on them).
+pub mod exit {
+    /// Assessment ran clean, no blocking topics.
+    pub const OK: i32 = 0;
+    /// Assessment ran clean, blocking topics found.
+    pub const BLOCKING: i32 = 1;
+    /// Usage error (bad arguments / bad request).
+    pub const USAGE: i32 = 2;
+    /// I/O error (unreadable inputs, unwritable report).
+    pub const IO: i32 = 3;
+    /// Degraded assessment, no blocking topics.
+    pub const DEGRADED: i32 = 4;
+    /// Degraded assessment with blocking topics.
+    pub const DEGRADED_BLOCKING: i32 = 5;
+}
+
+/// Folds a report's outcome into the 0–5 exit-code contract.
+pub fn exit_code_for(report: &adsafe::AssessmentReport) -> i32 {
+    let blocking = report.compliance.blocking_count() > 0;
+    match (report.degraded, blocking) {
+        (false, false) => exit::OK,
+        (false, true) => exit::BLOCKING,
+        (true, false) => exit::DEGRADED,
+        (true, true) => exit::DEGRADED_BLOCKING,
+    }
+}

@@ -1,0 +1,444 @@
+//! The daemon proper: accept loop, bounded request queue, endpoint
+//! handlers, and graceful shutdown.
+//!
+//! One [`Server`] owns a non-blocking accept thread and an
+//! [`Executor`] of handler workers. Accepted connections are submitted
+//! to the executor's bounded queue; when the queue is full the accept
+//! thread itself answers `503` + `Retry-After` (a few hundred bytes of
+//! work — backpressure must stay cheap when the system is loaded). One
+//! request per connection: parse, route, respond, close.
+//!
+//! Request handlers run under `catch_unwind`, mirroring the
+//! pipeline's fault isolation one level up: a panicking handler
+//! produces a `500` with a fault summary, and the worker — and every
+//! other in-flight request — keeps going. Assessments themselves
+//! already contain checker panics as degraded-report faults, so a
+//! `500` here means the *serving* layer broke, which the integration
+//! tests exercise through the `serve.request` failpoint.
+//!
+//! [`Server::stop`] (the CLI's SIGTERM path) stops admission, drains
+//! queued and in-flight requests through [`Executor::shutdown`], then
+//! flushes the facts store's dirty entries to its disk backing.
+
+use crate::fsutil::{collect_sources, module_of};
+use crate::http::{self, ReadError, Request, Response};
+use adsafe::fault::failpoints;
+use adsafe::iso26262::Asil;
+use adsafe::{render, Assessment, AssessmentOptions, MemoryFactsStore};
+use adsafe_pool::Executor;
+use adsafe_trace::json::{write_escaped, Json};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind (`127.0.0.1:7026` by default; port `0` lets the
+    /// OS pick — tests read the real port from [`Server::addr`]).
+    pub addr: String,
+    /// Pipeline workers per assessment (`0` = one per core).
+    pub jobs: usize,
+    /// Concurrent request handlers.
+    pub handlers: usize,
+    /// Bounded request queue capacity; beyond it, `503`.
+    pub queue_capacity: usize,
+    /// Disk backing for the resident facts store (`None` = memory-only).
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7026".into(),
+            jobs: 0,
+            handlers: 2,
+            queue_capacity: 32,
+            cache_dir: None,
+        }
+    }
+}
+
+/// What the daemon did over its lifetime, returned by [`Server::stop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests fully parsed and routed.
+    pub requests: u64,
+    /// Dirty facts entries flushed to disk during shutdown.
+    pub flushed_entries: usize,
+}
+
+/// State shared between the accept thread, handler workers, and the
+/// owning [`Server`] handle.
+struct Shared {
+    store: Arc<MemoryFactsStore>,
+    jobs: usize,
+    queue_capacity: usize,
+    stop: AtomicBool,
+    requests: AtomicU64,
+    /// Human-readable summary of the most recent contained fault (a
+    /// handler panic or a degraded assessment), surfaced by `/healthz`.
+    last_fault: Mutex<Option<String>>,
+    last_degraded: AtomicBool,
+}
+
+/// A running daemon. Dropping it (or calling [`stop`](Server::stop))
+/// shuts down gracefully: admission stops, in-flight and queued
+/// requests drain, dirty facts flush to disk.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<usize>>,
+}
+
+impl Server {
+    /// Binds `config.addr` and starts serving. Fails only on bind
+    /// errors (address in use, bad address).
+    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            store: Arc::new(MemoryFactsStore::open(config.cache_dir.as_deref())),
+            jobs: config.jobs,
+            queue_capacity: config.queue_capacity,
+            stop: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            last_fault: Mutex::new(None),
+            last_degraded: AtomicBool::new(false),
+        });
+        let exec = Executor::new(config.handlers, config.queue_capacity);
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("adsafe-accept".into())
+                .spawn(move || accept_loop(listener, exec, &shared))
+                .expect("spawning the accept thread")
+        };
+        Ok(Server { addr, shared, accept: Some(accept) })
+    }
+
+    /// The bound address (with the OS-assigned port when the config
+    /// asked for port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Asks the daemon to stop admitting work; returns immediately.
+    pub fn request_stop(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Graceful shutdown: stops admission, drains queued and in-flight
+    /// requests, flushes the facts store, and returns lifetime stats.
+    pub fn stop(mut self) -> ServeStats {
+        self.request_stop();
+        let flushed = self.accept.take().map_or(0, |h| h.join().unwrap_or(0));
+        ServeStats {
+            requests: self.shared.requests.load(Ordering::SeqCst),
+            flushed_entries: flushed,
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.request_stop();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Accepts until asked to stop, then drains and flushes. Returns the
+/// number of facts entries flushed to disk.
+fn accept_loop(listener: TcpListener, exec: Executor, shared: &Arc<Shared>) -> usize {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+                // A clone shares the fd, so the 503 path can still
+                // answer after the rejected job (owning the original)
+                // is dropped.
+                let reject_stream = stream.try_clone().ok();
+                let shared_job = Arc::clone(shared);
+                let job = move || handle_connection(stream, &shared_job);
+                if exec.try_submit(job).is_err() {
+                    adsafe_trace::counter("serve.rejected").incr();
+                    if let Some(mut s) = reject_stream {
+                        let resp = Response::text(503, "assessment queue full; retry shortly\n")
+                            .with_header("Retry-After", "1");
+                        let _ = http::write_response(&mut s, &resp);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    // Drain: every admitted request completes before the flush, so the
+    // disk cache sees the final state of the store.
+    exec.shutdown();
+    shared.store.flush()
+}
+
+/// One connection: read a request, route it under panic containment,
+/// write the response, close.
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let t0 = Instant::now();
+    let trace_mark = adsafe_trace::mark();
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let req = match http::read_request(&mut reader) {
+        Ok(req) => req,
+        Err(ReadError::Closed) => return,
+        Err(ReadError::Io(_)) => {
+            adsafe_trace::counter("serve.io_errors").incr();
+            return;
+        }
+        Err(ReadError::Parse(e)) => {
+            adsafe_trace::counter("serve.http_errors").incr();
+            let resp = Response::text(e.status(), format!("{}\n", e.detail()));
+            let _ = http::write_response(&mut writer, &resp);
+            return;
+        }
+    };
+    shared.requests.fetch_add(1, Ordering::SeqCst);
+    adsafe_trace::counter("serve.requests").incr();
+    let resp = {
+        let _span = adsafe_trace::span_with(
+            "serve.request",
+            "serve",
+            vec![("method", req.method.clone()), ("path", req.path.clone())],
+        );
+        match catch_unwind(AssertUnwindSafe(|| route(&req, shared))) {
+            Ok(resp) => resp,
+            Err(payload) => {
+                // The serving layer broke — not the pipeline, which
+                // contains its own faults. Leave no armed failpoint
+                // behind on this worker thread.
+                failpoints::clear_all();
+                let msg = adsafe::fault::panic_message(&*payload);
+                adsafe_trace::counter("serve.panics").incr();
+                let summary = format!("handler panic on {} {}: {msg}", req.method, req.path);
+                *shared.last_fault.lock().unwrap_or_else(|e| e.into_inner()) =
+                    Some(summary.clone());
+                Response::text(
+                    500,
+                    format!(
+                        "DEGRADED: 1 fault(s) contained (serve 1); worst severity: critical\n  \
+                         [critical] serve `{}`: panic: {msg}; request aborted\n",
+                        req.path
+                    ),
+                )
+            }
+        }
+    };
+    adsafe_trace::counter(&format!("serve.status.{}", resp.status)).incr();
+    let _ = http::write_response(&mut writer, &resp);
+    adsafe_trace::histogram("serve.request_us").record(t0.elapsed().as_micros() as u64);
+    // Handler threads are long-lived: drop this request's span events
+    // rather than letting the thread-local buffer grow per request.
+    let _ = adsafe_trace::drain_from(trace_mark);
+}
+
+fn route(req: &Request, shared: &Arc<Shared>) -> Response {
+    let path = req.path.split('?').next().unwrap_or("");
+    match (req.method.as_str(), path) {
+        ("POST", "/assess") => assess(req, shared),
+        ("POST", "/invalidate") => invalidate(req, shared),
+        ("GET", "/metrics") => Response::text(200, adsafe_trace::render_text()),
+        ("GET", "/healthz") => healthz(shared),
+        (_, "/assess") | (_, "/invalidate") => {
+            Response::text(405, "method not allowed\n").with_header("Allow", "POST")
+        }
+        (_, "/metrics") | (_, "/healthz") => {
+            Response::text(405, "method not allowed\n").with_header("Allow", "GET")
+        }
+        _ => Response::text(404, "not found\n"),
+    }
+}
+
+/// `POST /assess` body: `{"dir": "<corpus>", "asil": "D", "jobs": 4,
+/// "failpoints": [{"site": "...", "action": "panic"|"delay", "ms": 50}]}`.
+/// Only `dir` is required. The response body is the deterministic
+/// report markdown; outcome metadata rides in `X-Adsafe-*` headers.
+fn assess(req: &Request, shared: &Arc<Shared>) -> Response {
+    let Ok(body) = std::str::from_utf8(&req.body) else {
+        return Response::text(400, "body is not UTF-8\n");
+    };
+    let json = match Json::parse(body) {
+        Ok(j) => j,
+        Err(e) => return Response::text(400, format!("bad JSON body: {e}\n")),
+    };
+    let Some(dir) = json.get("dir").and_then(Json::as_str) else {
+        return Response::text(400, "missing required string field `dir`\n");
+    };
+    let asil = match json.get("asil") {
+        None => Asil::D,
+        Some(v) => match v.as_str().and_then(parse_asil) {
+            Some(a) => a,
+            None => return Response::text(400, "`asil` must be A|B|C|D|QM\n"),
+        },
+    };
+    let jobs = match json.get("jobs") {
+        None => shared.jobs,
+        Some(v) => match v.as_f64() {
+            Some(n) if n >= 0.0 && n.fract() == 0.0 => n as usize,
+            _ => return Response::text(400, "`jobs` must be a non-negative integer\n"),
+        },
+    };
+
+    // Failpoint injection (tests only in practice, but harmless to
+    // expose: failpoints are inert unless a request arms them, and
+    // they are thread-local to this worker for this request).
+    let mut armed: Vec<failpoints::Armed> = Vec::new();
+    if let Some(fps) = json.get("failpoints").and_then(Json::as_arr) {
+        for fp in fps {
+            let Some(site) = fp.get("site").and_then(Json::as_str) else {
+                return Response::text(400, "failpoint needs a `site`\n");
+            };
+            let action = match fp.get("action").and_then(Json::as_str) {
+                Some("panic") => failpoints::Action::Panic("injected by request".into()),
+                Some("delay") => {
+                    let ms = fp.get("ms").and_then(Json::as_f64).unwrap_or(100.0);
+                    failpoints::Action::Delay(Duration::from_millis(ms as u64))
+                }
+                _ => return Response::text(400, "failpoint `action` must be panic|delay\n"),
+            };
+            armed.push(failpoints::Armed::new(site, action));
+        }
+    }
+    // The serving layer's own failpoint: a panic armed here escapes to
+    // the connection-level catch_unwind (→ 500), unlike checker
+    // failpoints, which the pipeline contains (→ 200, degraded).
+    failpoints::hit("serve.request");
+
+    let root = PathBuf::from(dir);
+    if !root.is_dir() {
+        return Response::text(400, format!("`{dir}` is not a directory\n"));
+    }
+    let mut files = Vec::new();
+    collect_sources(&root, &mut files);
+    if files.is_empty() {
+        return Response::text(400, format!("no C/C++/CUDA sources under `{dir}`\n"));
+    }
+    let mut assessment = Assessment::new().with_options(AssessmentOptions {
+        asil,
+        jobs,
+        store: Some(Arc::clone(&shared.store)),
+        ..AssessmentOptions::default()
+    });
+    for f in &files {
+        if let Ok(bytes) = std::fs::read(f) {
+            assessment.add_file_bytes(&module_of(&root, f), &f.display().to_string(), &bytes);
+        }
+    }
+    let report = assessment.run();
+    drop(armed);
+
+    shared.last_degraded.store(report.degraded, Ordering::SeqCst);
+    if let Some(worst) = report.faults.iter().map(|f| f.to_string()).last() {
+        *shared.last_fault.lock().unwrap_or_else(|e| e.into_inner()) = Some(worst);
+    }
+    adsafe_trace::counter("serve.assessments").incr();
+
+    let counter_of = |name: &str| {
+        report.trace.counters.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v)
+    };
+    // Digest of the per-request trace: the run's counter deltas, which
+    // distinguish cold from warm and serial from parallel requests.
+    let mut digest_input = String::new();
+    for (name, v) in &report.trace.counters {
+        digest_input.push_str(name);
+        digest_input.push('=');
+        digest_input.push_str(&v.to_string());
+        digest_input.push('\n');
+    }
+    let digest = format!("{:016x}", adsafe::content_hash("serve.trace", &digest_input));
+
+    Response {
+        status: 200,
+        headers: vec![("Content-Type".into(), "text/markdown; charset=utf-8".into())],
+        body: render::deterministic_report_markdown(&report).into_bytes(),
+    }
+    .with_header("X-Adsafe-Exit-Code", crate::exit_code_for(&report).to_string())
+    .with_header("X-Adsafe-Degraded", report.degraded.to_string())
+    .with_header("X-Adsafe-Cache-Hits", counter_of("cache.hits").to_string())
+    .with_header("X-Adsafe-Trace-Digest", digest)
+}
+
+/// `POST /invalidate` body: `{"paths": ["a.cc", …]}` or
+/// `{"all": true}`. Drops resident (and backing disk) facts so the
+/// next assessment re-analyses those files from source.
+fn invalidate(req: &Request, shared: &Arc<Shared>) -> Response {
+    let Ok(body) = std::str::from_utf8(&req.body) else {
+        return Response::text(400, "body is not UTF-8\n");
+    };
+    let json = match Json::parse(body) {
+        Ok(j) => j,
+        Err(e) => return Response::text(400, format!("bad JSON body: {e}\n")),
+    };
+    let dropped = if matches!(json.get("all"), Some(Json::Bool(true))) {
+        shared.store.invalidate_all()
+    } else if let Some(arr) = json.get("paths").and_then(Json::as_arr) {
+        let mut paths = Vec::with_capacity(arr.len());
+        for p in arr {
+            match p.as_str() {
+                Some(s) => paths.push(s.to_string()),
+                None => return Response::text(400, "`paths` must be an array of strings\n"),
+            }
+        }
+        shared.store.invalidate_paths(&paths)
+    } else {
+        return Response::text(400, "need `paths` (array) or `all`: true\n");
+    };
+    Response::json(200, format!("{{\"dropped\":{dropped}}}"))
+}
+
+/// `GET /healthz`: readiness plus the degradation state of the most
+/// recent assessment.
+fn healthz(shared: &Arc<Shared>) -> Response {
+    let status = if shared.stop.load(Ordering::SeqCst) { "draining" } else { "ok" };
+    let last_fault = shared.last_fault.lock().unwrap_or_else(|e| e.into_inner()).clone();
+    let mut out = String::from("{");
+    out.push_str(&format!("\"status\":\"{status}\""));
+    out.push_str(&format!(",\"requests\":{}", shared.requests.load(Ordering::SeqCst)));
+    out.push_str(&format!(
+        ",\"queue_depth\":{}",
+        adsafe_trace::gauge("pool.queue_depth").get()
+    ));
+    out.push_str(&format!(",\"queue_capacity\":{}", shared.queue_capacity));
+    out.push_str(&format!(",\"store_entries\":{}", shared.store.len()));
+    out.push_str(&format!(
+        ",\"last_degraded\":{}",
+        shared.last_degraded.load(Ordering::SeqCst)
+    ));
+    out.push_str(",\"last_fault\":");
+    match last_fault {
+        Some(f) => write_escaped(&mut out, &f),
+        None => out.push_str("null"),
+    }
+    out.push('}');
+    Response::json(200, out)
+}
+
+fn parse_asil(s: &str) -> Option<Asil> {
+    match s.to_ascii_uppercase().as_str() {
+        "A" => Some(Asil::A),
+        "B" => Some(Asil::B),
+        "C" => Some(Asil::C),
+        "D" => Some(Asil::D),
+        "QM" => Some(Asil::Qm),
+        _ => None,
+    }
+}

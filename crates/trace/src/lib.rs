@@ -45,8 +45,8 @@ pub mod span;
 pub mod summary;
 
 pub use metrics::{
-    counter, counter_delta, counter_snapshot, histogram, histogram_snapshot, Counter, Histogram,
-    HistogramSnapshot,
+    counter, counter_delta, counter_snapshot, gauge, gauge_snapshot, histogram,
+    histogram_snapshot, render_text, Counter, Gauge, Histogram, HistogramSnapshot,
 };
 pub use span::{
     absorb, drain_from, enabled, mark, now_us, set_enabled, span, span_with, SpanEvent, SpanGuard,

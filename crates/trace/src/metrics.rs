@@ -1,13 +1,17 @@
-//! Global registry of named counters and log₂-scale histograms.
+//! Global registry of named counters, gauges, and log₂-scale histograms.
 //!
 //! Counters are monotonic `AtomicU64`s: increments from any number of
-//! worker threads are lock-free and never lose updates. The registry
-//! itself is a mutex-guarded map consulted only on first lookup of a
-//! name; callers on hot paths hold the returned [`Counter`] handle.
+//! worker threads are lock-free and never lose updates. Gauges are
+//! settable `AtomicU64`s for instantaneous levels (queue depths, open
+//! connections). The registry itself is a mutex-guarded map consulted
+//! only on first lookup of a name; callers on hot paths hold the
+//! returned [`Counter`]/[`Gauge`] handle.
 //!
 //! Metric names follow the `phase.component.metric` convention
 //! (`parse.lexer.tokens`, `gpu.launch.barrier_phases`, …); snapshots
 //! are returned sorted by name so rendered output is deterministic.
+//! [`render_text`] exports the whole registry in a stable line-oriented
+//! text format (the `adsafe serve` `/metrics` endpoint's body).
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -29,6 +33,40 @@ impl Counter {
     }
 
     /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous level (queue depth, resident entries, open
+/// connections): settable, unlike the monotonic [`Counter`].
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the level.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to the level.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n` from the level (saturating at zero under races).
+    pub fn sub(&self, n: u64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(n);
+            match self.0.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current level.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
@@ -123,6 +161,7 @@ impl HistogramSnapshot {
 #[derive(Default)]
 struct Registry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
 }
 
@@ -141,6 +180,19 @@ pub fn counter(name: &str) -> Arc<Counter> {
             let c = Arc::new(Counter::default());
             map.insert(name.to_string(), Arc::clone(&c));
             c
+        }
+    }
+}
+
+/// The gauge named `name`, creating it on first use.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    let mut map = registry().gauges.lock().expect("gauge registry poisoned");
+    match map.get(name) {
+        Some(g) => Arc::clone(g),
+        None => {
+            let g = Arc::new(Gauge::default());
+            map.insert(name.to_string(), Arc::clone(&g));
+            g
         }
     }
 }
@@ -164,10 +216,49 @@ pub fn counter_snapshot() -> BTreeMap<String, u64> {
     map.iter().map(|(k, v)| (k.clone(), v.get())).collect()
 }
 
+/// All gauges and their current levels, sorted by name.
+pub fn gauge_snapshot() -> BTreeMap<String, u64> {
+    let map = registry().gauges.lock().expect("gauge registry poisoned");
+    map.iter().map(|(k, v)| (k.clone(), v.get())).collect()
+}
+
 /// All histograms' snapshots, sorted by name.
 pub fn histogram_snapshot() -> BTreeMap<String, HistogramSnapshot> {
     let map = registry().histograms.lock().expect("histogram registry poisoned");
     map.iter().map(|(k, v)| (k.clone(), v.snapshot())).collect()
+}
+
+/// Renders the whole registry in a stable text format: one
+/// space-separated line per metric, sorted by kind then name, so two
+/// snapshots of the same state are byte-identical. Histograms render
+/// their count, sum, and log₂-resolution p50/p99 bucket bounds.
+///
+/// ```text
+/// # adsafe-metrics/1
+/// counter cache.hits 12
+/// gauge pool.queue_depth 3
+/// hist serve.request_us count 4 sum 81236 p50 16383 p99 32767
+/// ```
+pub fn render_text() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("# adsafe-metrics/1\n");
+    for (name, v) in counter_snapshot() {
+        let _ = writeln!(out, "counter {name} {v}");
+    }
+    for (name, v) in gauge_snapshot() {
+        let _ = writeln!(out, "gauge {name} {v}");
+    }
+    for (name, h) in histogram_snapshot() {
+        let _ = writeln!(
+            out,
+            "hist {name} count {} sum {} p50 {} p99 {}",
+            h.count,
+            h.sum,
+            h.quantile_bound(0.5),
+            h.quantile_bound(0.99)
+        );
+    }
+    out
 }
 
 /// Per-counter increase from `before` to `after` (new counters count
@@ -242,6 +333,34 @@ mod tests {
         assert!(s.mean() > 200.0);
         assert_eq!(s.quantile_bound(0.5), 3);
         assert_eq!(s.quantile_bound(1.0), 2047);
+    }
+
+    #[test]
+    fn gauges_are_settable_and_saturate() {
+        let g = gauge("test.metrics.gauge_a");
+        g.set(5);
+        assert_eq!(g.get(), 5);
+        g.add(3);
+        g.sub(2);
+        assert_eq!(g.get(), 6);
+        g.sub(100);
+        assert_eq!(g.get(), 0, "sub saturates at zero");
+        // Same name → same gauge.
+        assert_eq!(gauge("test.metrics.gauge_a").get(), 0);
+    }
+
+    #[test]
+    fn render_text_is_stable_and_complete() {
+        counter("test.metrics.render_c").add(2);
+        gauge("test.metrics.render_g").set(7);
+        histogram("test.metrics.render_h").record(100);
+        let a = render_text();
+        let b = render_text();
+        assert_eq!(a, b, "same state renders byte-identically");
+        assert!(a.starts_with("# adsafe-metrics/1\n"), "{a}");
+        assert!(a.contains("counter test.metrics.render_c 2"), "{a}");
+        assert!(a.contains("gauge test.metrics.render_g 7"), "{a}");
+        assert!(a.lines().any(|l| l.starts_with("hist test.metrics.render_h count ")), "{a}");
     }
 
     #[test]

@@ -27,7 +27,7 @@ fn fig5_matches_paper_shape_and_order() {
 fn fig5_more_tests_more_coverage() {
     let h = harness_with_drivers();
     let all = real_scenarios();
-    let (one, _) = h.measure(&all[..1].to_vec());
+    let (one, _) = h.measure(&all[..1]);
     let (full, _) = h.measure(&all);
     let total = |cov: &[adsafe::coverage::AggregateCoverage]| -> f64 {
         cov.iter().map(|c| c.statement_pct(false)).sum()

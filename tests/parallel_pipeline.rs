@@ -261,6 +261,56 @@ fn corrupt_cache_entry_recovers_via_cold_path() {
 }
 
 #[test]
+fn unusable_cache_dir_falls_through_to_cold_analysis() {
+    let _g = counter_lock();
+    // Occupy the cache path with a regular file: `create_dir_all` fails
+    // even for root (which bypasses permission bits on read-only dirs).
+    let path = temp_cache_dir("unusable");
+    std::fs::write(&path, "not a directory").unwrap();
+    let baseline = assess_samples(usize::MAX, AssessmentOptions::default());
+    let r = assess_samples(
+        usize::MAX,
+        AssessmentOptions { cache_dir: Some(path.clone()), ..AssessmentOptions::default() },
+    );
+    assert_eq!(counter(&r, "cache.disabled"), 1);
+    let fault = r
+        .faults
+        .iter()
+        .find(|f| matches!(f.cause, FaultCause::CacheCorrupt { .. }))
+        .expect("unusable cache dir must be logged as a fault");
+    assert_eq!(fault.severity, FaultSeverity::Info);
+    assert!(!r.degraded, "a lost accelerator must not degrade the report");
+    // Same analysis as a cache-less run; only the fault log differs.
+    assert_eq!(
+        r.diagnostics, baseline.diagnostics,
+        "cold fall-through must reproduce the cache-less analysis"
+    );
+    assert_eq!(format!("{:?}", r.modules), format!("{:?}", baseline.modules));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn shared_store_makes_repeat_runs_warm() {
+    let _g = counter_lock();
+    let store = std::sync::Arc::new(adsafe::MemoryFactsStore::open(None));
+    let opts = || AssessmentOptions {
+        store: Some(store.clone()),
+        ..AssessmentOptions::default()
+    };
+    let n = sample_files().len() as u64;
+    let cold = assess_samples(usize::MAX, opts());
+    assert_eq!(counter(&cold, "cache.misses"), n);
+    assert_eq!(counter(&cold, "cache.stores"), n);
+    let warm = assess_samples(usize::MAX, opts());
+    assert_eq!(counter(&warm, "cache.hits"), n, "resident store must serve every file");
+    assert_eq!(counter(&warm, "parse.tier1.files"), 0, "warm run must not re-parse");
+    assert_eq!(
+        deterministic_report_markdown(&warm),
+        deterministic_report_markdown(&cold)
+    );
+}
+
+#[test]
 fn checks_phase_speeds_up_with_workers() {
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     if cores < 4 {

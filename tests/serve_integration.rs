@@ -1,0 +1,487 @@
+//! End-to-end tests of the `adsafe serve` daemon over real TCP:
+//! CLI/HTTP report byte-identity, warm-request incrementality, fault
+//! isolation (500 without killing the daemon), queue backpressure
+//! (503 + recovery), invalidation, shutdown write-back — plus
+//! property tests of the HTTP codec (folding, chunked bodies, size
+//! limits, parser totality).
+//!
+//! Counters and the metrics registry are process-global, so every
+//! server test serialises on [`serve_lock`].
+
+use adsafe_serve::http::{self, Response};
+use adsafe_serve::{ServeConfig, Server};
+use proptest::prelude::*;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+fn serve_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let d = std::env::temp_dir().join(format!("adsafe-serve-test-{}-{tag}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Writes a small two-module corpus and returns its root.
+fn corpus_dir(tag: &str) -> PathBuf {
+    let root = temp_dir(tag);
+    let files: [(&str, &str); 3] = [
+        (
+            "perception/track.cc",
+            "int g_tracks;\n\
+             int Update(int* state, int delta) {\n\
+               if (delta < 0) return -1;\n\
+               g_tracks = g_tracks + 1;\n\
+               *state = *state + delta;\n\
+               return 0;\n\
+             }\n",
+        ),
+        (
+            "control/pid.cc",
+            "static int s_calls;\n\
+             int Step(int err) {\n\
+               s_calls = s_calls + 1;\n\
+               if (err < 0) { return -err; }\n\
+               return err;\n\
+             }\n",
+        ),
+        ("control/pid.h", "int Step(int err);\n"),
+    ];
+    for (rel, text) in files {
+        let path = root.join(rel);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(path, text).unwrap();
+    }
+    root
+}
+
+const CORPUS_FILES: u64 = 3;
+
+fn start_server(config: ServeConfig) -> Server {
+    Server::start(ServeConfig { addr: "127.0.0.1:0".into(), ..config }).expect("bind 127.0.0.1:0")
+}
+
+/// One round-trip request over a fresh connection.
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    stream
+        .write_all(&http::encode_request(method, path, &[], body.as_bytes()))
+        .expect("send request");
+    let mut reader = BufReader::new(stream);
+    match http::read_response(&mut reader) {
+        Ok(resp) => resp,
+        Err(e) => panic!("reading response to {method} {path}: {e:?}"),
+    }
+}
+
+fn assess_body(dir: &Path, extra: &str) -> String {
+    format!("{{\"dir\":\"{}\"{extra}}}", dir.display())
+}
+
+/// Value of `counter <name> N` in a `/metrics` body (0 if absent).
+fn metrics_counter(metrics: &str, name: &str) -> u64 {
+    let prefix = format!("counter {name} ");
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(&prefix))
+        .map_or(0, |v| v.parse().expect("counter value"))
+}
+
+#[test]
+fn http_report_is_byte_identical_to_the_cli_report() {
+    let _g = serve_lock();
+    let corpus = corpus_dir("cli-parity");
+    let report_path = corpus.join("cli-report.md");
+
+    // CLI baseline: serial, uncached, report to a file.
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_adsafe"))
+        .args([
+            "assess",
+            &corpus.display().to_string(),
+            "--jobs",
+            "1",
+            "--no-cache",
+            "-q",
+            "--report",
+            &report_path.display().to_string(),
+        ])
+        .output()
+        .expect("running the adsafe CLI");
+    let cli_exit = status.status.code().expect("CLI exit code");
+    let full = std::fs::read_to_string(&report_path).expect("CLI report written");
+    // `--report` appends the trace summary to the deterministic body.
+    let cli_det = full
+        .split("\n## Trace summary")
+        .next()
+        .expect("report has a deterministic prefix");
+
+    let server = start_server(ServeConfig::default());
+    for jobs in [1, 0] {
+        let resp = request(
+            server.addr(),
+            "POST",
+            "/assess",
+            &assess_body(&corpus, &format!(",\"jobs\":{jobs}")),
+        );
+        assert_eq!(resp.status, 200, "jobs={jobs}: {}", resp.body_text());
+        assert_eq!(
+            resp.body_text(),
+            cli_det,
+            "HTTP report must be byte-identical to the CLI report at jobs={jobs}"
+        );
+        assert_eq!(
+            resp.header("x-adsafe-exit-code"),
+            Some(cli_exit.to_string().as_str()),
+            "daemon and CLI must agree on the exit-code contract"
+        );
+        assert_eq!(resp.header("x-adsafe-degraded"), Some("false"));
+        assert!(resp.header("x-adsafe-trace-digest").is_some_and(|d| d.len() == 16));
+    }
+    server.stop();
+    let _ = std::fs::remove_dir_all(&corpus);
+}
+
+#[test]
+fn warm_second_request_does_zero_parse_work() {
+    let _g = serve_lock();
+    let corpus = corpus_dir("warm");
+    let server = start_server(ServeConfig::default());
+    let addr = server.addr();
+
+    let cold = request(addr, "POST", "/assess", &assess_body(&corpus, ""));
+    assert_eq!(cold.status, 200, "{}", cold.body_text());
+    assert_eq!(cold.header("x-adsafe-cache-hits"), Some("0"));
+    let parsed_after_cold =
+        metrics_counter(&request(addr, "GET", "/metrics", "").body_text(), "parse.tier1.files");
+
+    let warm = request(addr, "POST", "/assess", &assess_body(&corpus, ""));
+    assert_eq!(warm.status, 200);
+    assert_eq!(
+        warm.header("x-adsafe-cache-hits"),
+        Some(CORPUS_FILES.to_string().as_str()),
+        "every file must resolve from the resident store"
+    );
+    let parsed_after_warm =
+        metrics_counter(&request(addr, "GET", "/metrics", "").body_text(), "parse.tier1.files");
+    assert_eq!(
+        parsed_after_warm, parsed_after_cold,
+        "the warm request must do zero parse-phase work"
+    );
+    assert_eq!(warm.body, cold.body, "cold and warm reports must be byte-identical");
+    assert_ne!(
+        warm.header("x-adsafe-trace-digest"),
+        cold.header("x-adsafe-trace-digest"),
+        "the per-request trace digest distinguishes cold from warm work"
+    );
+    server.stop();
+    let _ = std::fs::remove_dir_all(&corpus);
+}
+
+#[test]
+fn handler_panic_answers_500_and_the_daemon_survives() {
+    let _g = serve_lock();
+    let corpus = corpus_dir("panic");
+    let server = start_server(ServeConfig::default());
+    let addr = server.addr();
+
+    // A serve-layer panic escapes the handler → 500 with a fault
+    // summary.
+    let broken = request(
+        addr,
+        "POST",
+        "/assess",
+        &assess_body(&corpus, ",\"failpoints\":[{\"site\":\"serve.request\",\"action\":\"panic\"}]"),
+    );
+    assert_eq!(broken.status, 500);
+    let text = broken.body_text();
+    assert!(text.contains("DEGRADED: 1 fault(s) contained"), "{text}");
+    assert!(text.contains("panic"), "{text}");
+
+    // The daemon — and the worker that panicked — keeps serving.
+    let next = request(addr, "POST", "/assess", &assess_body(&corpus, ""));
+    assert_eq!(next.status, 200, "daemon must survive a handler panic");
+    assert_eq!(next.header("x-adsafe-degraded"), Some("false"));
+
+    // /healthz surfaces the contained fault.
+    let health = request(addr, "GET", "/healthz", "").body_text();
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+    assert!(health.contains("handler panic on POST /assess"), "{health}");
+
+    // By contrast, a *checker* panic is the pipeline's to contain: the
+    // request still answers 200, degraded. (Serial jobs so the
+    // thread-local failpoint is visible to the checker.)
+    let degraded = request(
+        addr,
+        "POST",
+        "/assess",
+        &assess_body(
+            &corpus,
+            ",\"jobs\":1,\"failpoints\":[{\"site\":\"pipeline::check\",\"action\":\"panic\"}]",
+        ),
+    );
+    assert_eq!(degraded.status, 200, "contained checker faults are not server errors");
+    assert_eq!(degraded.header("x-adsafe-degraded"), Some("true"));
+    server.stop();
+    let _ = std::fs::remove_dir_all(&corpus);
+}
+
+#[test]
+fn full_queue_answers_503_and_recovers_after_drain() {
+    let _g = serve_lock();
+    let corpus = corpus_dir("backpressure");
+    let server = start_server(ServeConfig {
+        handlers: 1,
+        queue_capacity: 1,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    let slow_body = assess_body(
+        &corpus,
+        ",\"jobs\":1,\"failpoints\":[{\"site\":\"serve.request\",\"action\":\"delay\",\"ms\":900}]",
+    );
+    let plain_body = assess_body(&corpus, ",\"jobs\":1");
+
+    // c1 occupies the single worker for ~900ms.
+    let mut c1 = TcpStream::connect(addr).unwrap();
+    c1.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    c1.write_all(&http::encode_request("POST", "/assess", &[], slow_body.as_bytes())).unwrap();
+    std::thread::sleep(Duration::from_millis(200)); // worker picked c1 up
+
+    // c2 fills the queue (capacity 1).
+    let mut c2 = TcpStream::connect(addr).unwrap();
+    c2.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    c2.write_all(&http::encode_request("POST", "/assess", &[], plain_body.as_bytes())).unwrap();
+    std::thread::sleep(Duration::from_millis(100)); // accept loop queued c2
+
+    // c3 overflows → 503 with Retry-After, answered by the accept loop.
+    let rejected = request(addr, "POST", "/assess", &plain_body);
+    assert_eq!(rejected.status, 503, "{}", rejected.body_text());
+    assert_eq!(rejected.header("retry-after"), Some("1"));
+
+    // The admitted requests complete.
+    let r1 = http::read_response(&mut BufReader::new(c1)).expect("c1 response");
+    assert_eq!(r1.status, 200);
+    let r2 = http::read_response(&mut BufReader::new(c2)).expect("c2 response");
+    assert_eq!(r2.status, 200);
+
+    // The client's retry after the drain succeeds.
+    let retried = request(addr, "POST", "/assess", &plain_body);
+    assert_eq!(retried.status, 200, "retry after drain must succeed");
+    server.stop();
+    let _ = std::fs::remove_dir_all(&corpus);
+}
+
+#[test]
+fn invalidate_drops_resident_facts_for_changed_paths() {
+    let _g = serve_lock();
+    let corpus = corpus_dir("invalidate");
+    let server = start_server(ServeConfig::default());
+    let addr = server.addr();
+
+    let cold = request(addr, "POST", "/assess", &assess_body(&corpus, ""));
+    assert_eq!(cold.status, 200);
+    // The daemon keys facts by the path it ingested: the absolute file
+    // path under the corpus root.
+    let changed = corpus.join("control/pid.cc");
+    let resp = request(
+        addr,
+        "POST",
+        "/invalidate",
+        &format!("{{\"paths\":[\"{}\"]}}", changed.display()),
+    );
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body_text(), "{\"dropped\":1}");
+
+    let warm = request(addr, "POST", "/assess", &assess_body(&corpus, ""));
+    assert_eq!(
+        warm.header("x-adsafe-cache-hits"),
+        Some((CORPUS_FILES - 1).to_string().as_str()),
+        "only the invalidated path re-analyses"
+    );
+
+    let all = request(addr, "POST", "/invalidate", "{\"all\":true}");
+    assert_eq!(all.body_text(), format!("{{\"dropped\":{CORPUS_FILES}}}"));
+    let refilled = request(addr, "POST", "/assess", &assess_body(&corpus, ""));
+    assert_eq!(refilled.header("x-adsafe-cache-hits"), Some("0"));
+
+    let bad = request(addr, "POST", "/invalidate", "{\"nope\":1}");
+    assert_eq!(bad.status, 400);
+    server.stop();
+    let _ = std::fs::remove_dir_all(&corpus);
+}
+
+#[test]
+fn graceful_shutdown_flushes_the_facts_store_to_disk() {
+    let _g = serve_lock();
+    let corpus = corpus_dir("flush");
+    let cache_dir = temp_dir("flush-cache");
+    let config = || ServeConfig { cache_dir: Some(cache_dir.clone()), ..ServeConfig::default() };
+
+    let server = start_server(config());
+    let addr = server.addr();
+    let cold = request(addr, "POST", "/assess", &assess_body(&corpus, ""));
+    assert_eq!(cold.status, 200);
+    // Write-back is lazy: no facts entries on disk until shutdown.
+    let entries_on_disk = || {
+        std::fs::read_dir(&cache_dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name() != "meta.json")
+            .count() as u64
+    };
+    assert_eq!(entries_on_disk(), 0, "requests must not pay disk-write latency");
+    let stats = server.stop();
+    assert_eq!(stats.requests, 1);
+    assert_eq!(stats.flushed_entries as u64, CORPUS_FILES, "drain flushes every dirty entry");
+    assert_eq!(entries_on_disk(), CORPUS_FILES);
+
+    // A fresh daemon (fresh process, same disk cache) starts warm.
+    let server2 = start_server(config());
+    let warm = request(server2.addr(), "POST", "/assess", &assess_body(&corpus, ""));
+    assert_eq!(
+        warm.header("x-adsafe-cache-hits"),
+        Some(CORPUS_FILES.to_string().as_str()),
+        "the flushed cache must warm the next daemon"
+    );
+    assert_eq!(warm.body, cold.body);
+    server2.stop();
+    let _ = std::fs::remove_dir_all(&corpus);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn healthz_and_routing_basics() {
+    let _g = serve_lock();
+    let server = start_server(ServeConfig { queue_capacity: 7, ..ServeConfig::default() });
+    let addr = server.addr();
+
+    let health = request(addr, "GET", "/healthz", "");
+    assert_eq!(health.status, 200);
+    let text = health.body_text();
+    assert!(text.contains("\"status\":\"ok\""), "{text}");
+    assert!(text.contains("\"queue_capacity\":7"), "{text}");
+
+    let metrics = request(addr, "GET", "/metrics", "");
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.body_text().starts_with("# adsafe-metrics/1\n"));
+
+    assert_eq!(request(addr, "GET", "/nope", "").status, 404);
+    let wrong_method = request(addr, "GET", "/assess", "");
+    assert_eq!(wrong_method.status, 405);
+    assert_eq!(wrong_method.header("allow"), Some("POST"));
+    assert_eq!(request(addr, "POST", "/assess", "{not json").status, 400);
+    assert_eq!(request(addr, "POST", "/assess", "{\"jobs\":1}").status, 400);
+    server.stop();
+}
+
+// ---------------------------------------------------------------------
+// HTTP codec properties: the parser must accept everything the encoder
+// produces and never panic on anything else.
+
+fn parse_bytes(bytes: &[u8]) -> Result<http::Request, http::ReadError> {
+    http::read_request(&mut BufReader::new(bytes))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode → parse is the identity on method, path, headers, body.
+    #[test]
+    fn request_round_trips_through_the_codec(
+        use_post in 0u8..2,
+        path_tail in "[a-z0-9/]{0,20}",
+        name_tail in "[a-z0-9-]{0,10}",
+        value in "[!-~]{0,30}",
+        body in proptest::collection::vec(0u8..255, 0..200),
+    ) {
+        let method = if use_post == 1 { "POST" } else { "GET" };
+        let path = format!("/{path_tail}");
+        let name = format!("x{name_tail}");
+        let wire = http::encode_request(method, &path, &[(&name, &value)], &body);
+        let req = parse_bytes(&wire).expect("own encoding must parse");
+        prop_assert_eq!(req.method, method);
+        prop_assert_eq!(req.path, path);
+        prop_assert_eq!(req.header(&name), Some(value.as_str()));
+        prop_assert_eq!(req.body, body);
+    }
+
+    /// obs-fold continuation lines join into one space-separated value.
+    #[test]
+    fn folded_headers_parse_to_the_joined_value(
+        parts in proptest::collection::vec("[!-~]{1,12}", 1..5),
+    ) {
+        let mut wire = b"GET /metrics HTTP/1.1\r\nX-Folded: ".to_vec();
+        wire.extend_from_slice(parts[0].as_bytes());
+        for p in &parts[1..] {
+            wire.extend_from_slice(b"\r\n ");
+            wire.extend_from_slice(p.as_bytes());
+        }
+        wire.extend_from_slice(b"\r\n\r\n");
+        let req = parse_bytes(&wire).expect("folded header must parse");
+        let joined = parts.join(" ");
+        prop_assert_eq!(req.header("x-folded"), Some(joined.as_str()));
+    }
+
+    /// Any chunking of a body decodes back to the same bytes.
+    #[test]
+    fn chunked_bodies_decode_to_the_original(
+        body in proptest::collection::vec(0u8..255, 0..300),
+        chunk in 1usize..17,
+    ) {
+        let mut wire = b"POST /assess HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec();
+        for piece in body.chunks(chunk) {
+            wire.extend_from_slice(format!("{:x}\r\n", piece.len()).as_bytes());
+            wire.extend_from_slice(piece);
+            wire.extend_from_slice(b"\r\n");
+        }
+        wire.extend_from_slice(b"0\r\n\r\n");
+        let req = parse_bytes(&wire).expect("chunked body must parse");
+        prop_assert_eq!(req.body, body);
+    }
+
+    /// Oversized declared bodies answer 413, not memory exhaustion.
+    #[test]
+    fn oversized_bodies_are_rejected_with_413(extra in 1u64..1_000_000) {
+        let wire = format!(
+            "POST /assess HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            http::MAX_BODY_BYTES as u64 + extra
+        );
+        match parse_bytes(wire.as_bytes()) {
+            Err(http::ReadError::Parse(e)) => prop_assert_eq!(e.status(), 413),
+            other => prop_assert!(false, "expected 413, got {:?}", other),
+        }
+    }
+
+    /// The parser is total: arbitrary bytes produce a result, never a
+    /// panic (malformed input maps to 400/413 or a clean close).
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(
+        raw in proptest::collection::vec(0u8..255, 0..400),
+    ) {
+        let _ = parse_bytes(&raw);
+    }
+
+    /// ... including byte soup spliced after a valid-looking prefix,
+    /// which exercises the header/body framing paths harder.
+    #[test]
+    fn parser_never_panics_after_a_valid_prefix(
+        tail in proptest::collection::vec(0u8..255, 0..200),
+    ) {
+        let mut wire = b"POST /assess HTTP/1.1\r\n".to_vec();
+        wire.extend_from_slice(&tail);
+        let _ = parse_bytes(&wire);
+    }
+}
