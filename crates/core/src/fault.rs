@@ -126,6 +126,12 @@ pub enum FaultCause {
     },
     /// A fault injected through the failpoint registry.
     Injected(String),
+    /// A ledger line was torn or unparseable and was skipped; the run
+    /// itself is unaffected (no evidence involved at all).
+    LedgerTorn {
+        /// Why the line was rejected.
+        detail: String,
+    },
 }
 
 impl fmt::Display for FaultCause {
@@ -154,6 +160,9 @@ impl fmt::Display for FaultCause {
                 write!(f, "corrupt cache entry ({detail}); re-analysed from source")
             }
             FaultCause::Injected(name) => write!(f, "injected fault at `{name}`"),
+            FaultCause::LedgerTorn { detail } => {
+                write!(f, "torn ledger line skipped ({detail})")
+            }
         }
     }
 }
@@ -202,6 +211,23 @@ pub struct Fault {
     pub cause: FaultCause,
     /// Containment action taken.
     pub recovery: Recovery,
+    /// Correlation key: the ID of the run that contained this fault.
+    /// Empty when the run has no ledger identity (e.g. `--no-ledger`).
+    pub run_id: String,
+}
+
+impl Fault {
+    /// Renders the fault with its run-ID correlation key appended —
+    /// the form the CLI fault summary prints. `Display` deliberately
+    /// omits the run ID: it feeds the deterministic report, which must
+    /// stay byte-identical across runs of the same corpus.
+    pub fn correlated(&self) -> String {
+        if self.run_id.is_empty() {
+            self.to_string()
+        } else {
+            format!("{self} (run {})", self.run_id)
+        }
+    }
 }
 
 impl fmt::Display for Fault {
@@ -222,6 +248,7 @@ impl fmt::Display for Fault {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultLog {
     faults: Vec<Fault>,
+    run_id: String,
 }
 
 impl FaultLog {
@@ -230,9 +257,28 @@ impl FaultLog {
         Self::default()
     }
 
+    /// Sets the run ID stamped onto every fault pushed from now on
+    /// (and retroactively onto faults already recorded without one).
+    pub fn set_run_id(&mut self, run_id: &str) {
+        self.run_id = run_id.to_string();
+        for f in &mut self.faults {
+            if f.run_id.is_empty() {
+                f.run_id = self.run_id.clone();
+            }
+        }
+    }
+
+    /// The run ID faults are stamped with (empty if none was set).
+    pub fn run_id(&self) -> &str {
+        &self.run_id
+    }
+
     /// Records a fault (and counts it in the `faults.<phase>` metric).
-    pub fn push(&mut self, fault: Fault) {
+    pub fn push(&mut self, mut fault: Fault) {
         adsafe_trace::counter(&format!("faults.{}", fault.phase.name())).incr();
+        if fault.run_id.is_empty() {
+            fault.run_id = self.run_id.clone();
+        }
         self.faults.push(fault);
     }
 
@@ -400,6 +446,7 @@ mod tests {
             severity: sev,
             cause: FaultCause::Panic("boom".into()),
             recovery: Recovery::SkippedItem,
+            run_id: String::new(),
         }
     }
 
@@ -442,6 +489,24 @@ mod tests {
         assert!(s.contains("gpu"), "{s}");
         assert!(s.contains("boom"), "{s}");
         assert!(s.contains("skipped"), "{s}");
+    }
+
+    #[test]
+    fn run_id_is_stamped_and_rendered() {
+        let mut log = FaultLog::new();
+        log.push(fault(FaultPhase::Parse, FaultSeverity::Info));
+        log.set_run_id("r000004-1a2b3c4d");
+        log.push(fault(FaultPhase::Checks, FaultSeverity::Info));
+        // Retroactive stamping covers faults recorded before the ID
+        // was known, and new pushes inherit it.
+        assert!(log.iter().all(|f| f.run_id == "r000004-1a2b3c4d"));
+        let rendered = log.as_slice()[1].correlated();
+        assert!(rendered.contains("(run r000004-1a2b3c4d)"), "{rendered}");
+        // Display stays run-free (it feeds the deterministic report);
+        // correlated() degrades to Display when no ID was set.
+        assert!(!log.as_slice()[1].to_string().contains("(run"));
+        let bare = fault(FaultPhase::Parse, FaultSeverity::Info);
+        assert_eq!(bare.correlated(), bare.to_string());
     }
 
     #[test]

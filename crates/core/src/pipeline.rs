@@ -137,6 +137,10 @@ pub struct AssessmentOptions {
     /// [`cache_dir`](Self::cache_dir); the store decides its own disk
     /// backing and write-back policy.
     pub store: Option<std::sync::Arc<MemoryFactsStore>>,
+    /// Ledger run ID for this assessment, threaded into the root span,
+    /// every fault record, and the report. Empty (the default) means
+    /// the run has no ledger identity; nothing references it.
+    pub run_id: String,
 }
 
 impl Default for AssessmentOptions {
@@ -149,6 +153,7 @@ impl Default for AssessmentOptions {
             jobs: 1,
             cache_dir: None,
             store: None,
+            run_id: String::new(),
         }
     }
 }
@@ -174,6 +179,9 @@ pub struct AssessmentReport {
     /// Self-observability: per-phase wall time, slowest files and
     /// rules, counter deltas, and the raw span events of this run.
     pub trace: TraceSummary,
+    /// The ledger run ID this report was produced under (empty when
+    /// the run was not recorded).
+    pub run_id: String,
 }
 
 impl AssessmentReport {
@@ -279,10 +287,19 @@ impl Assessment {
                 severity: FaultSeverity::Degraded,
                 cause: FaultCause::NonUtf8 { replaced },
                 recovery: Recovery::ResyncParse,
+                run_id: String::new(),
             });
         }
         let owned = text.into_owned();
         self.add_file(module, path, &owned)
+    }
+
+    /// Records a fault observed before the pipeline ran (e.g. a torn
+    /// ledger line noticed while reserving the run ID). The fault rides
+    /// on the report exactly like an ingest fault.
+    pub fn add_fault(&mut self, fault: Fault) -> &mut Self {
+        self.ingest_faults.push(fault);
+        self
     }
 
     /// Runs metrics, checkers, and the compliance engine with per-item
@@ -297,9 +314,18 @@ impl Assessment {
     pub fn run(&self) -> AssessmentReport {
         let counters_before = adsafe_trace::counter_snapshot();
         let trace_mark = adsafe_trace::mark();
-        let run_span = adsafe_trace::span("assessment.run", "run");
+        let run_span = if self.options.run_id.is_empty() {
+            adsafe_trace::span("assessment.run", "run")
+        } else {
+            adsafe_trace::span_with(
+                "assessment.run",
+                "run",
+                vec![("run_id", self.options.run_id.clone())],
+            )
+        };
 
         let mut log = FaultLog::new();
+        log.set_run_id(&self.options.run_id);
         for f in &self.ingest_faults {
             log.push(f.clone());
         }
@@ -331,6 +357,7 @@ impl Assessment {
                 severity: FaultSeverity::Info,
                 cause: FaultCause::CacheCorrupt { detail },
                 recovery: Recovery::Noted,
+                run_id: String::new(),
             });
         }
 
@@ -382,6 +409,7 @@ impl Assessment {
                         severity: FaultSeverity::Lost,
                         cause: classify_panic(&panic_message(&*payload)),
                         recovery: Recovery::Dropped,
+                        run_id: String::new(),
                     });
                 }
             }
@@ -415,6 +443,7 @@ impl Assessment {
                     severity: FaultSeverity::Degraded,
                     cause: FaultCause::DeadlineExceeded { budget_ms: budgets.budget_ms() },
                     recovery: Recovery::SkippedItem,
+                    run_id: String::new(),
                 });
             }
             if deadline_cut {
@@ -431,6 +460,7 @@ impl Assessment {
                     severity: FaultSeverity::Degraded,
                     cause: classify_panic(&panic_message(&*payload)),
                     recovery: Recovery::SkippedItem,
+                    run_id: String::new(),
                 });
                 skipped.insert(c.id());
             }
@@ -498,6 +528,7 @@ impl Assessment {
                         severity: FaultSeverity::Degraded,
                         cause: FaultCause::Panic(failure.message),
                         recovery: Recovery::SkippedItem,
+                        run_id: String::new(),
                     });
                 }
                 (ShardTask::Macro(li), Ok(ShardOut::Macro(diags))) => {
@@ -512,6 +543,7 @@ impl Assessment {
                         severity: FaultSeverity::Degraded,
                         cause: classify_panic(&panic_message(&*payload)),
                         recovery: Recovery::SkippedItem,
+                        run_id: String::new(),
                     });
                 }
                 (ShardTask::Macro(li), Err(payload)) => {
@@ -522,6 +554,7 @@ impl Assessment {
                         severity: FaultSeverity::Degraded,
                         cause: classify_panic(&panic_message(&*payload)),
                         recovery: Recovery::SkippedItem,
+                        run_id: String::new(),
                     });
                 }
                 // A task cannot return the other variant's output.
@@ -557,6 +590,7 @@ impl Assessment {
                     severity: FaultSeverity::Degraded,
                     cause: FaultCause::Panic(panic_message(&*payload)),
                     recovery: Recovery::SkippedItem,
+                    run_id: String::new(),
                 }),
             }
         }
@@ -653,6 +687,7 @@ impl Assessment {
                         severity: FaultSeverity::Degraded,
                         cause,
                         recovery: Recovery::TokenMetrics,
+                        run_id: String::new(),
                     });
                 }
             }
@@ -681,6 +716,7 @@ impl Assessment {
                 severity: FaultSeverity::Critical,
                 cause: classify_panic(&panic_message(&*payload)),
                 recovery: Recovery::FallbackDefault,
+                run_id: String::new(),
             });
             adsafe_checkers::UnitDesignStats::default()
         });
@@ -694,6 +730,7 @@ impl Assessment {
                 severity: FaultSeverity::Critical,
                 cause: classify_panic(&panic_message(&*payload)),
                 recovery: Recovery::FallbackDefault,
+                run_id: String::new(),
             });
             Evidence {
                 total_loc: modules.iter().map(|m| m.loc.nloc).sum(),
@@ -709,6 +746,7 @@ impl Assessment {
                     severity: FaultSeverity::Critical,
                     cause: classify_panic(&panic_message(&*payload)),
                     recovery: Recovery::FallbackDefault,
+                    run_id: String::new(),
                 });
                 ComplianceReport { asil: self.options.asil, verdicts: Vec::new() }
             });
@@ -720,6 +758,7 @@ impl Assessment {
                     severity: FaultSeverity::Critical,
                     cause: classify_panic(&panic_message(&*payload)),
                     recovery: Recovery::FallbackDefault,
+                    run_id: String::new(),
                 });
                 Vec::new()
             });
@@ -743,6 +782,7 @@ impl Assessment {
             faults: log,
             degraded,
             trace,
+            run_id: self.options.run_id.clone(),
         }
     }
 
@@ -885,6 +925,7 @@ fn parse_one(
                 severity: FaultSeverity::Degraded,
                 cause: FaultCause::DeadlineExceeded { budget_ms: budgets.budget_ms() },
                 recovery: Recovery::TokenMetrics,
+                run_id: String::new(),
             });
         }
         // Past the deadline: token-only estimation (cheap, total)
@@ -913,6 +954,7 @@ fn parse_one(
                     severity: FaultSeverity::Info,
                     cause: FaultCause::CacheCorrupt { detail },
                     recovery: Recovery::Noted,
+                    run_id: String::new(),
                 });
             }
             CacheLookup::Miss => {}
@@ -936,6 +978,7 @@ fn parse_one(
                     severity: FaultSeverity::Degraded,
                     cause: FaultCause::ParseResync { regions },
                     recovery: Recovery::ResyncParse,
+                    run_id: String::new(),
                 });
             } else {
                 adsafe_trace::counter("parse.tier1.files").incr();
@@ -956,6 +999,7 @@ fn parse_one(
                         severity: FaultSeverity::Degraded,
                         cause,
                         recovery: Recovery::TokenMetrics,
+                        run_id: String::new(),
                     });
                 }
                 Err(payload2) => {
@@ -967,6 +1011,7 @@ fn parse_one(
                         severity: FaultSeverity::Lost,
                         cause,
                         recovery: Recovery::Dropped,
+                        run_id: String::new(),
                     });
                 }
             }
@@ -1007,6 +1052,7 @@ fn note_phase_overrun(
         severity: FaultSeverity::Timeout,
         cause: FaultCause::DeadlineOverrun { budget_ms, actual_ms },
         recovery: Recovery::Noted,
+        run_id: String::new(),
     });
 }
 

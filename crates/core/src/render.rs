@@ -175,6 +175,9 @@ pub fn trace_summary(report: &AssessmentReport) -> String {
     let t = &report.trace;
     let mut out = String::new();
     out.push_str("## Trace summary\n\n");
+    if !report.run_id.is_empty() {
+        out.push_str(&format!("- run: {}\n", report.run_id));
+    }
     out.push_str(&format!("- total wall time: {:.1} ms\n", t.total_us as f64 / 1000.0));
     for p in &t.phases {
         out.push_str(&format!("- phase {}: {:.1} ms\n", p.name, p.wall_us as f64 / 1000.0));
@@ -303,6 +306,22 @@ mod tests {
         // Clean run: no fault section.
         assert!(!md.contains("## Fault log"));
         assert_eq!(fault_summary(&r), "");
+    }
+
+    #[test]
+    fn run_id_lands_in_trace_summary_only() {
+        let mut a = Assessment::new().with_options(crate::pipeline::AssessmentOptions {
+            run_id: "r000009-cafef00d".into(),
+            ..Default::default()
+        });
+        a.add_file("m", "a.cc", "int f() { return 1; }");
+        let r = a.run();
+        assert!(
+            !deterministic_report_markdown(&r).contains("r000009"),
+            "run ID must never reach the byte-compared deterministic report"
+        );
+        assert!(trace_summary(&r).contains("- run: r000009-cafef00d"));
+        assert!(full_report_markdown(&r).contains("- run: r000009-cafef00d"));
     }
 
     #[test]

@@ -32,6 +32,7 @@ use crate::facts::FileFacts;
 use adsafe_lang::FileId;
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
 /// One resident entry: the serialised facts and whether it still needs
@@ -49,6 +50,11 @@ struct Entry {
 pub struct MemoryFactsStore {
     entries: RwLock<HashMap<u64, Entry>>,
     disk: Option<FactsCache>,
+    /// Total serialised-JSON bytes resident, maintained incrementally
+    /// (always mutated under the `entries` write lock, so it tracks the
+    /// map exactly). Backs the `store.facts.bytes` gauge and
+    /// `/healthz`, making resident growth visible before it hurts.
+    bytes: AtomicU64,
 }
 
 impl MemoryFactsStore {
@@ -59,12 +65,36 @@ impl MemoryFactsStore {
         MemoryFactsStore {
             entries: RwLock::new(HashMap::new()),
             disk: dir.map(FactsCache::open),
+            bytes: AtomicU64::new(0),
         }
     }
 
     /// Number of resident entries.
     pub fn len(&self) -> usize {
         self.entries.read().expect("facts store poisoned").len()
+    }
+
+    /// Total serialised bytes resident in memory.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Re-points the size gauges at the current entry count and byte
+    /// total. Callers hold the write lock, so the pair is coherent.
+    fn set_gauges(&self, entries: usize) {
+        adsafe_trace::gauge("store.entries").set(entries as u64);
+        adsafe_trace::gauge("store.facts.entries").set(entries as u64);
+        adsafe_trace::gauge("store.facts.bytes").set(self.bytes.load(Ordering::Relaxed));
+    }
+
+    /// Adjusts the byte total for an insert that displaced `old`.
+    fn account_insert(&self, inserted: usize, displaced: Option<usize>) {
+        let delta = inserted as i64 - displaced.unwrap_or(0) as i64;
+        if delta >= 0 {
+            self.bytes.fetch_add(delta as u64, Ordering::Relaxed);
+        } else {
+            self.bytes.fetch_sub((-delta) as u64, Ordering::Relaxed);
+        }
     }
 
     /// Whether no entries are resident.
@@ -82,13 +112,15 @@ impl MemoryFactsStore {
             .map(|(h, _)| *h)
             .collect();
         for h in &victims {
-            map.remove(h);
+            if let Some(e) = map.remove(h) {
+                self.bytes.fetch_sub(e.json.len() as u64, Ordering::Relaxed);
+            }
             if let Some(d) = &self.disk {
                 d.evict(*h);
             }
         }
         adsafe_trace::counter("store.invalidated").add(victims.len() as u64);
-        adsafe_trace::gauge("store.entries").set(map.len() as u64);
+        self.set_gauges(map.len());
         victims.len()
     }
 
@@ -102,8 +134,9 @@ impl MemoryFactsStore {
                 d.evict(h);
             }
         }
+        self.bytes.store(0, Ordering::Relaxed);
         adsafe_trace::counter("store.invalidated").add(n as u64);
-        adsafe_trace::gauge("store.entries").set(0);
+        self.set_gauges(0);
         n
     }
 
@@ -140,7 +173,11 @@ impl FactsStore for MemoryFactsStore {
                 Err(detail) => {
                     // Evict the unusable entry; the cold path rebuilds it.
                     adsafe_trace::counter("cache.corrupt").incr();
-                    self.entries.write().expect("facts store poisoned").remove(&hash);
+                    let mut map = self.entries.write().expect("facts store poisoned");
+                    if let Some(e) = map.remove(&hash) {
+                        self.bytes.fetch_sub(e.json.len() as u64, Ordering::Relaxed);
+                    }
+                    self.set_gauges(map.len());
                     CacheLookup::Corrupt(detail)
                 }
             };
@@ -150,11 +187,13 @@ impl FactsStore for MemoryFactsStore {
             Some(disk) => match disk.load(hash, file) {
                 CacheLookup::Hit(facts) => {
                     let mut map = self.entries.write().expect("facts store poisoned");
-                    map.insert(
-                        hash,
-                        Entry { path: String::new(), json: facts.to_json(), dirty: false },
-                    );
-                    adsafe_trace::gauge("store.entries").set(map.len() as u64);
+                    let json = facts.to_json();
+                    let inserted = json.len();
+                    let old = map
+                        .insert(hash, Entry { path: String::new(), json, dirty: false })
+                        .map(|e| e.json.len());
+                    self.account_insert(inserted, old);
+                    self.set_gauges(map.len());
                     CacheLookup::Hit(facts)
                 }
                 other => other,
@@ -168,12 +207,14 @@ impl FactsStore for MemoryFactsStore {
 
     fn store_entry(&self, hash: u64, path: &str, facts: &FileFacts) {
         let mut map = self.entries.write().expect("facts store poisoned");
-        map.insert(
-            hash,
-            Entry { path: path.to_string(), json: facts.to_json(), dirty: true },
-        );
+        let json = facts.to_json();
+        let inserted = json.len();
+        let old = map
+            .insert(hash, Entry { path: path.to_string(), json, dirty: true })
+            .map(|e| e.json.len());
+        self.account_insert(inserted, old);
         adsafe_trace::counter("cache.stores").incr();
-        adsafe_trace::gauge("store.entries").set(map.len() as u64);
+        self.set_gauges(map.len());
     }
 
     fn disabled_detail(&self) -> Option<String> {
@@ -215,6 +256,27 @@ mod tests {
         assert_eq!(store.invalidate_paths(&["m/a.cc".to_string()]), 1);
         assert!(store.is_empty());
         assert!(matches!(store.load(h, FileId(0)), CacheLookup::Miss));
+    }
+
+    #[test]
+    fn byte_accounting_tracks_inserts_and_drops() {
+        let store = MemoryFactsStore::open(None);
+        assert_eq!(store.bytes(), 0);
+        let a = FileFacts { recovery_count: 1, ..FileFacts::default() };
+        let b = FileFacts { recovery_count: 22, ..FileFacts::default() };
+        let h = content_hash("m/a.cc", "x");
+        store.store_entry(h, "m/a.cc", &a);
+        assert_eq!(store.bytes(), a.to_json().len() as u64);
+        // Replacing an entry charges the delta, not the sum.
+        store.store_entry(h, "m/a.cc", &b);
+        assert_eq!(store.bytes(), b.to_json().len() as u64);
+        let h2 = content_hash("m/b.cc", "y");
+        store.store_entry(h2, "m/b.cc", &a);
+        assert_eq!(store.bytes(), (a.to_json().len() + b.to_json().len()) as u64);
+        store.invalidate_paths(&["m/a.cc".to_string()]);
+        assert_eq!(store.bytes(), a.to_json().len() as u64);
+        store.invalidate_all();
+        assert_eq!(store.bytes(), 0);
     }
 
     #[test]

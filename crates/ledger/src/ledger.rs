@@ -1,0 +1,299 @@
+//! The append-only JSONL ledger and its run-ID allocator.
+//!
+//! One ledger lives in `.adsafe-cache/ledger/runs.jsonl` under the
+//! assessed corpus; each assessment appends exactly one line. Run IDs
+//! are deterministic — a monotonic sequence number (one past the
+//! highest already on disk) plus a content-hash salt over the corpus
+//! digest and sequence — so identical corpora on identical histories
+//! mint identical IDs, with no wall clock and no randomness anywhere.
+//!
+//! The reader is total: a torn final line (a crash mid-append) or any
+//! other unparseable line is *skipped and reported*, never a panic and
+//! never cause to refuse subsequent appends — the ledger keeps
+//! accepting history even when one line is lost.
+
+use crate::record::RunRecord;
+use adsafe::content_hash;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// File name of the ledger inside its directory.
+pub const LEDGER_FILE: &str = "runs.jsonl";
+
+/// Subdirectory of the facts-cache directory that holds the ledger.
+/// Kept apart from the cache's `*.json` entries so a ruleset-mismatch
+/// wipe (which removes only `*.json` in the cache root) never touches
+/// run history.
+pub const LEDGER_SUBDIR: &str = "ledger";
+
+/// A note about one skipped (torn or garbage) ledger line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TornLine {
+    /// 1-based line number in `runs.jsonl`.
+    pub line: usize,
+    /// Why the line did not parse.
+    pub detail: String,
+}
+
+/// An open run ledger: a directory, an append file, and the next
+/// sequence number.
+#[derive(Debug)]
+pub struct Ledger {
+    dir: PathBuf,
+    next_seq: AtomicU64,
+    torn: Vec<TornLine>,
+}
+
+impl Ledger {
+    /// Opens (creating if needed) the ledger in `dir`. Existing lines
+    /// are scanned once to find the highest sequence number; torn lines
+    /// are collected into [`torn_lines`](Self::torn_lines) for the
+    /// caller to surface as Info faults.
+    pub fn open(dir: &Path) -> std::io::Result<Ledger> {
+        fs::create_dir_all(dir)?;
+        let (records, torn) = read_lines(&dir.join(LEDGER_FILE));
+        let next = records.iter().map(|r| r.seq).max().map_or(1, |m| m + 1);
+        Ok(Ledger { dir: dir.to_path_buf(), next_seq: AtomicU64::new(next), torn })
+    }
+
+    /// The conventional ledger directory for a corpus cache directory.
+    pub fn dir_for_cache(cache_dir: &Path) -> PathBuf {
+        cache_dir.join(LEDGER_SUBDIR)
+    }
+
+    /// The directory this ledger lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the JSONL file.
+    pub fn file(&self) -> PathBuf {
+        self.dir.join(LEDGER_FILE)
+    }
+
+    /// Lines that were skipped while opening, if any.
+    pub fn torn_lines(&self) -> &[TornLine] {
+        &self.torn
+    }
+
+    /// Mints the next run ID: `r{seq:06}-{salt:08x}`, where the salt is
+    /// the content hash of the corpus digest and the sequence number.
+    /// Each call consumes one sequence number.
+    pub fn reserve(&self, corpus_digest: &str) -> (String, u64) {
+        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
+        (run_id(seq, corpus_digest), seq)
+    }
+
+    /// Appends one record as a single line. The write is a single
+    /// `write_all` of `line + "\n"`, so a crash can tear at most the
+    /// final line — which the reader skips by design. If the file does
+    /// not currently end in a newline (a previous append was torn), a
+    /// newline is inserted first so the torn garbage stays confined to
+    /// its own line instead of corrupting this record too.
+    pub fn append(&self, record: &RunRecord) -> std::io::Result<()> {
+        use std::io::{Read as _, Seek as _, SeekFrom};
+        let mut line = record.to_json_line();
+        line.push('\n');
+        let mut f =
+            fs::OpenOptions::new().create(true).read(true).append(true).open(self.file())?;
+        if f.metadata()?.len() > 0 {
+            let mut last = [0u8; 1];
+            f.seek(SeekFrom::End(-1))?;
+            f.read_exact(&mut last)?;
+            if last != [b'\n'] {
+                line.insert(0, '\n');
+            }
+        }
+        f.write_all(line.as_bytes())
+    }
+
+    /// Reads every parseable record (in file order) plus notes for any
+    /// lines that were skipped. Total on any file state.
+    pub fn read_all(&self) -> (Vec<RunRecord>, Vec<TornLine>) {
+        read_lines(&self.file())
+    }
+
+    /// Resolves a run reference — a full run ID, a unique run-ID
+    /// prefix, or a bare sequence number — against the ledger.
+    pub fn resolve(&self, reference: &str) -> Result<RunRecord, String> {
+        let (records, _) = self.read_all();
+        if let Ok(seq) = reference.parse::<u64>() {
+            if let Some(r) = records.iter().find(|r| r.seq == seq) {
+                return Ok(r.clone());
+            }
+        }
+        let matches: Vec<&RunRecord> =
+            records.iter().filter(|r| r.run.starts_with(reference)).collect();
+        match matches.len() {
+            1 => Ok(matches[0].clone()),
+            0 => Err(format!("no run matches `{reference}` in {}", self.file().display())),
+            n => Err(format!("`{reference}` is ambiguous ({n} runs match); use more digits")),
+        }
+    }
+}
+
+/// Builds the deterministic run ID for a (sequence, corpus digest).
+pub fn run_id(seq: u64, corpus_digest: &str) -> String {
+    let salt = content_hash(corpus_digest, &seq.to_string()) as u32;
+    format!("r{seq:06}-{salt:08x}")
+}
+
+/// Folds per-file content hashes (in stable file order) into one
+/// 16-hex-digit corpus digest. Order-sensitive on purpose: renaming a
+/// file changes the corpus.
+pub fn corpus_digest(file_hashes: &[u64]) -> String {
+    let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+    for h in file_hashes {
+        for b in h.to_le_bytes() {
+            acc ^= u64::from(b);
+            acc = acc.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    format!("{acc:016x}")
+}
+
+fn read_lines(path: &Path) -> (Vec<RunRecord>, Vec<TornLine>) {
+    let Ok(text) = fs::read_to_string(path) else {
+        return (Vec::new(), Vec::new());
+    };
+    let mut records = Vec::new();
+    let mut torn = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match RunRecord::from_json(line) {
+            Ok(r) => records.push(r),
+            Err(detail) => torn.push(TornLine { line: i + 1, detail }),
+        }
+    }
+    (records, torn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::VerdictRow;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        use std::sync::atomic::AtomicU32;
+        static N: AtomicU32 = AtomicU32::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let d = std::env::temp_dir()
+            .join(format!("adsafe-ledger-test-{}-{tag}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn record(seq: u64, digest: &str) -> RunRecord {
+        RunRecord {
+            run: run_id(seq, digest),
+            seq,
+            corpus_root: "corpus".into(),
+            corpus_digest: digest.into(),
+            files: 1,
+            fingerprint: "fp".into(),
+            asil: "ASIL-D".into(),
+            exit_code: 0,
+            degraded: false,
+            tier: "full".into(),
+            total_us: 10,
+            phases: vec![("parse".into(), 5)],
+            fault_counts: Vec::new(),
+            worst_severity: None,
+            cache_hits: 0,
+            cache_stores: 1,
+            verdicts: vec![VerdictRow {
+                table: 1,
+                row: 1,
+                topic: "t".into(),
+                status: "compliant".into(),
+                effort: "none".into(),
+                blocking: false,
+            }],
+            observations: vec![(1, false)],
+            metrics: vec![("goto_count".into(), 0.0)],
+        }
+    }
+
+    #[test]
+    fn run_ids_are_deterministic_and_distinct() {
+        assert_eq!(run_id(1, "d"), run_id(1, "d"));
+        assert_ne!(run_id(1, "d"), run_id(2, "d"));
+        assert_ne!(run_id(1, "d"), run_id(1, "e"));
+        assert!(run_id(7, "d").starts_with("r000007-"));
+    }
+
+    #[test]
+    fn corpus_digest_is_order_sensitive() {
+        assert_eq!(corpus_digest(&[1, 2]), corpus_digest(&[1, 2]));
+        assert_ne!(corpus_digest(&[1, 2]), corpus_digest(&[2, 1]));
+        assert_eq!(corpus_digest(&[]).len(), 16);
+    }
+
+    #[test]
+    fn append_and_reopen_continues_the_sequence() {
+        let dir = temp_dir("seq");
+        let ledger = Ledger::open(&dir).unwrap();
+        let (id1, seq1) = ledger.reserve("d");
+        assert_eq!(seq1, 1);
+        ledger.append(&record(seq1, "d")).unwrap();
+        let (_, seq2) = ledger.reserve("d");
+        assert_eq!(seq2, 2);
+        ledger.append(&record(seq2, "d")).unwrap();
+        // A fresh open (fresh process) resumes after the highest seq.
+        let reopened = Ledger::open(&dir).unwrap();
+        let (records, torn) = reopened.read_all();
+        assert_eq!(records.len(), 2);
+        assert!(torn.is_empty());
+        assert_eq!(reopened.reserve("d").1, 3);
+        // Resolution by seq, full id, and unique prefix.
+        assert_eq!(reopened.resolve("1").unwrap().run, id1);
+        assert_eq!(reopened.resolve(&id1).unwrap().seq, 1);
+        assert_eq!(reopened.resolve(&id1[..8]).unwrap().seq, 1);
+        assert!(reopened.resolve("r9").is_err());
+        assert!(reopened.resolve("r0000").is_err(), "ambiguous prefix");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_final_line_is_skipped_not_fatal() {
+        let dir = temp_dir("torn");
+        let ledger = Ledger::open(&dir).unwrap();
+        ledger.append(&record(1, "d")).unwrap();
+        // Simulate a crash mid-append: half a record, no newline.
+        let half = record(2, "d").to_json_line();
+        let mut f = fs::OpenOptions::new().append(true).open(ledger.file()).unwrap();
+        f.write_all(&half.as_bytes()[..half.len() / 2]).unwrap();
+        drop(f);
+        let reopened = Ledger::open(&dir).unwrap();
+        assert_eq!(reopened.torn_lines().len(), 1);
+        assert_eq!(reopened.torn_lines()[0].line, 2);
+        let (records, torn) = reopened.read_all();
+        assert_eq!(records.len(), 1, "the good line survives");
+        assert_eq!(torn.len(), 1);
+        // The sequence resumes after the last *parseable* record, and a
+        // fresh append confines the torn garbage to its own line.
+        let (id, seq) = reopened.reserve("d");
+        assert_eq!(seq, 2);
+        let mut next = record(seq, "d");
+        next.run = id;
+        reopened.append(&next).unwrap();
+        let (records, torn) = reopened.read_all();
+        assert_eq!(records.len(), 2, "new record is intact after the tear");
+        assert_eq!(torn.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_reads_empty() {
+        let dir = temp_dir("empty");
+        let ledger = Ledger::open(&dir).unwrap();
+        let (records, torn) = ledger.read_all();
+        assert!(records.is_empty() && torn.is_empty());
+        assert_eq!(ledger.reserve("d").1, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -4,9 +4,11 @@
 //! ```text
 //! adsafe assess <dir> [--asil A|B|C|D] [--report out.md] [--diagnostics]
 //!                     [--jobs N] [--no-cache] [--cache-dir PATH]
-//!                     [--trace-out t.json] [--profile] [-v] [-q]
+//!                     [--no-ledger] [--trace-out t.json] [--profile] [-v] [-q]
 //! adsafe serve [--addr HOST:PORT] [--jobs N] [--handlers N] [--queue N]
 //!              [--cache-dir PATH]           # resident HTTP daemon
+//! adsafe history [<dir>] [--last N] [--cache-dir PATH]  # run ledger
+//! adsafe diff [<dir>] <run-a> <run-b> [--cache-dir PATH] # drift gate
 //! adsafe check <file> [<file>...]          # rule findings only
 //! adsafe tables                            # print the Part-6 tables
 //! adsafe trace-compare <baseline> <current> # perf regression gate
@@ -38,6 +40,14 @@
 //! summary, `-v` additionally dumps the run's counter deltas, and `-q`
 //! suppresses everything except the verdict line and fault summary.
 //!
+//! Every assessment appends one record to the corpus's run ledger
+//! (`<cache-dir>/ledger/runs.jsonl`, see DESIGN.md §10) unless
+//! `--no-ledger` is given; `adsafe history` lists past runs and
+//! `adsafe diff <a> <b>` compares two of them, exiting 1 when any
+//! table verdict or paper observation flipped so CI can gate on
+//! compliance drift. `--no-cache` skips the facts cache but still
+//! writes the ledger.
+//!
 //! Exit codes (documented in README.md; scripts rely on them):
 //!
 //! | code | meaning |
@@ -51,6 +61,7 @@
 
 use adsafe::iso26262::Asil;
 use adsafe::{render, Assessment, AssessmentOptions};
+use adsafe_ledger::{corpus_digest, Ledger, RunDiff, RunRecord};
 use adsafe_serve::exit_code_for;
 use adsafe_serve::fsutil::{collect_sources, module_of};
 use adsafe_serve::{ServeConfig, Server};
@@ -69,6 +80,8 @@ fn main() {
     let code = match args.first().map(String::as_str) {
         Some("assess") => cmd_assess(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("history") => cmd_history(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("tables") => cmd_tables(),
         Some("trace-compare") => cmd_trace_compare(&args[1..]),
@@ -77,10 +90,12 @@ fn main() {
         _ => {
             eprintln!(
                 "usage:\n  adsafe assess <dir> [--asil A|B|C|D] [--report out.md] [--diagnostics]\n  \
-                 {:17}[--jobs N] [--no-cache] [--cache-dir PATH]\n  \
+                 {:17}[--jobs N] [--no-cache] [--cache-dir PATH] [--no-ledger]\n  \
                  {:17}[--trace-out t.json] [--profile] [-v] [-q]\n  \
                  adsafe serve [--addr HOST:PORT] [--jobs N] [--handlers N] [--queue N]\n  \
                  {:13}[--cache-dir PATH]\n  \
+                 adsafe history [<dir>] [--last N] [--cache-dir PATH]\n  \
+                 adsafe diff [<dir>] <run-a> <run-b> [--cache-dir PATH]\n  \
                  adsafe check <file> [<file>...]\n  adsafe tables\n  \
                  adsafe trace-compare <baseline.json> <current.json>",
                 "", "", ""
@@ -126,7 +141,10 @@ fn print_fault_summary(report: &adsafe::AssessmentReport) {
         worst
     );
     for f in &report.faults {
-        println!("  {f}");
+        // `correlated` appends the run ID so a fault line can be traced
+        // back to its ledger record; plain `Display` stays run-free to
+        // keep the deterministic report byte-stable.
+        println!("  {}", f.correlated());
     }
 }
 
@@ -141,6 +159,7 @@ fn cmd_assess(args: &[String]) -> i32 {
     let mut quiet = false;
     let mut jobs = 0usize; // 0 = one worker per core
     let mut use_cache = true;
+    let mut use_ledger = true;
     let mut cache_dir_override: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
@@ -156,6 +175,7 @@ fn cmd_assess(args: &[String]) -> i32 {
                 }
             }
             "--no-cache" => use_cache = false,
+            "--no-ledger" => use_ledger = false,
             "--cache-dir" => {
                 i += 1;
                 match args.get(i) {
@@ -228,35 +248,85 @@ fn cmd_assess(args: &[String]) -> i32 {
         eprintln!("assessing {} files under {dir} at {asil} ...", files.len());
     }
 
-    let cache_dir = use_cache
-        .then(|| cache_dir_override.unwrap_or_else(|| root.join(".adsafe-cache")));
-    let mut assessment = Assessment::new().with_options(AssessmentOptions {
-        asil,
-        jobs,
-        cache_dir,
-        ..AssessmentOptions::default()
-    });
-    let mut readable = 0usize;
+    // Read everything up front so the corpus digest (which salts the
+    // run ID) covers exactly the bytes the pipeline will see.
+    let mut sources: Vec<(String, String, Vec<u8>)> = Vec::new();
+    let mut hashes: Vec<u64> = Vec::new();
     for f in &files {
         // Raw bytes: non-UTF-8 content is the pipeline's problem (it
         // records an ingest fault and degrades), not a reason to skip.
         match std::fs::read(f) {
             Ok(bytes) => {
-                assessment.add_file_bytes(
-                    &module_of(&root, f),
-                    &f.display().to_string(),
-                    &bytes,
-                );
-                readable += 1;
+                let path = f.display().to_string();
+                hashes.push(adsafe::content_hash(&path, &String::from_utf8_lossy(&bytes)));
+                sources.push((module_of(&root, f), path, bytes));
             }
             Err(e) => eprintln!("  skipping unreadable {}: {e}", f.display()),
         }
     }
-    if readable == 0 {
+    if sources.is_empty() {
         eprintln!("assess: none of the {} sources could be read", files.len());
         return EXIT_IO;
     }
+
+    // The ledger lives under the cache directory but is independent of
+    // the facts cache: `--no-cache` still records the run.
+    let base_cache_dir = cache_dir_override
+        .clone()
+        .unwrap_or_else(|| root.join(".adsafe-cache"));
+    let ledger = use_ledger
+        .then(|| Ledger::open(&Ledger::dir_for_cache(&base_cache_dir)))
+        .and_then(|r| match r {
+            Ok(l) => Some(l),
+            Err(e) => {
+                eprintln!("assess: ledger disabled ({e})");
+                None
+            }
+        });
+    let digest = corpus_digest(&hashes);
+    let (run_id, seq) = match &ledger {
+        Some(l) => l.reserve(&digest),
+        None => (String::new(), 0),
+    };
+
+    let cache_dir = use_cache.then(|| base_cache_dir.clone());
+    let mut assessment = Assessment::new().with_options(AssessmentOptions {
+        asil,
+        jobs,
+        cache_dir,
+        run_id: run_id.clone(),
+        ..AssessmentOptions::default()
+    });
+    if let Some(l) = &ledger {
+        for torn in l.torn_lines() {
+            assessment.add_fault(adsafe_serve::ledger_torn_fault(&l.file(), torn));
+        }
+    }
+    for (module, path, bytes) in &sources {
+        assessment.add_file_bytes(module, path, bytes);
+    }
     let report = assessment.run();
+
+    let exit_code = exit_code_for(&report);
+    if let Some(l) = &ledger {
+        let record = RunRecord::from_report(
+            &report,
+            &run_id,
+            seq,
+            &root.display().to_string(),
+            &digest,
+            sources.len() as u64,
+            exit_code,
+        );
+        match l.append(&record) {
+            Ok(()) => {
+                if !quiet {
+                    eprintln!("run {run_id} recorded in {}", l.file().display());
+                }
+            }
+            Err(e) => eprintln!("assess: cannot append to run ledger: {e}"),
+        }
+    }
 
     if show_diagnostics {
         for d in &report.diagnostics {
@@ -310,7 +380,143 @@ fn cmd_assess(args: &[String]) -> i32 {
             }
         }
     }
-    exit_code_for(&report)
+    exit_code
+}
+
+/// Opens the ledger for `history`/`diff` without writing to it:
+/// refuses to invent a directory when none exists yet.
+fn open_ledger_readonly(dir: &Path, cache_dir: Option<&Path>) -> Result<Ledger, String> {
+    let base = cache_dir
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| dir.join(".adsafe-cache"));
+    let ledger_dir = Ledger::dir_for_cache(&base);
+    if !ledger_dir.join(adsafe_ledger::LEDGER_FILE).is_file() {
+        return Err(format!(
+            "no run ledger at {} (run `adsafe assess {}` first)",
+            ledger_dir.display(),
+            dir.display()
+        ));
+    }
+    Ledger::open(&ledger_dir).map_err(|e| format!("cannot open {}: {e}", ledger_dir.display()))
+}
+
+/// `adsafe history [<dir>] [--last N]`: list the corpus's recorded
+/// runs, most recent last, with a drift marker against each run's
+/// predecessor.
+fn cmd_history(args: &[String]) -> i32 {
+    let mut dir: Option<String> = None;
+    let mut last = usize::MAX;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--last" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => last = n,
+                    _ => {
+                        eprintln!("history: --last needs a positive count");
+                        return EXIT_USAGE;
+                    }
+                }
+            }
+            "--cache-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => cache_dir = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("history: --cache-dir needs a path");
+                        return EXIT_USAGE;
+                    }
+                }
+            }
+            other if !other.starts_with('-') && dir.is_none() => dir = Some(other.to_string()),
+            other => {
+                eprintln!("history: unknown option `{other}`");
+                return EXIT_USAGE;
+            }
+        }
+        i += 1;
+    }
+    let dir = PathBuf::from(dir.unwrap_or_else(|| ".".to_string()));
+    let ledger = match open_ledger_readonly(&dir, cache_dir.as_deref()) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("history: {e}");
+            return EXIT_IO;
+        }
+    };
+    let (records, torn) = ledger.read_all();
+    for t in &torn {
+        eprintln!("history: skipping torn line {}: {}", t.line, t.detail);
+    }
+    if records.is_empty() {
+        println!("no recorded runs");
+        return EXIT_OK;
+    }
+    print!("{}", adsafe_ledger::history_table(&records, last));
+    EXIT_OK
+}
+
+/// `adsafe diff [<dir>] <run-a> <run-b>`: compare two recorded runs.
+/// Exits 1 when any table verdict or paper observation flipped between
+/// them — the compliance-drift gate CI hangs off — and 0 when only
+/// run IDs, timings, or nothing at all changed.
+fn cmd_diff(args: &[String]) -> i32 {
+    let mut positional: Vec<String> = Vec::new();
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--cache-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => cache_dir = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("diff: --cache-dir needs a path");
+                        return EXIT_USAGE;
+                    }
+                }
+            }
+            other if !other.starts_with('-') => positional.push(other.to_string()),
+            other => {
+                eprintln!("diff: unknown option `{other}`");
+                return EXIT_USAGE;
+            }
+        }
+        i += 1;
+    }
+    // `<dir>` is optional: three positionals mean the first is the
+    // corpus root, two mean the current directory.
+    let (dir, ref_a, ref_b) = match positional.len() {
+        2 => (PathBuf::from("."), positional[0].clone(), positional[1].clone()),
+        3 if Path::new(&positional[0]).is_dir() => (
+            PathBuf::from(&positional[0]),
+            positional[1].clone(),
+            positional[2].clone(),
+        ),
+        _ => {
+            eprintln!("diff: need [<dir>] <run-a> <run-b> (sequence number, run ID, or unique prefix)");
+            return EXIT_USAGE;
+        }
+    };
+    let ledger = match open_ledger_readonly(&dir, cache_dir.as_deref()) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("diff: {e}");
+            return EXIT_IO;
+        }
+    };
+    let (a, b) = match (ledger.resolve(&ref_a), ledger.resolve(&ref_b)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("diff: {e}");
+            return EXIT_USAGE;
+        }
+    };
+    let diff = RunDiff::between(&a, &b);
+    print!("{}", diff.render());
+    i32::from(diff.has_drift())
 }
 
 /// Set by the SIGINT/SIGTERM handler; `cmd_serve` polls it.

@@ -21,8 +21,12 @@
 //! to the disk cache, and exits under the CLI's 0–5 exit-code
 //! contract. See DESIGN.md §9.
 //!
-//! Endpoints: `POST /assess`, `GET /metrics`, `GET /healthz`,
-//! `POST /invalidate` — curl examples in README.md §Serving.
+//! Endpoints: `POST /assess`, `GET /metrics` (`?format=prometheus`
+//! for the exposition format), `GET /healthz`, `POST /invalidate`,
+//! `GET /runs`, `GET /runs/<id>` — curl examples in README.md
+//! §Serving. Every assessment — served or CLI — appends one record to
+//! the corpus's run ledger (`.adsafe-cache/ledger/`, see DESIGN.md
+//! §10) and carries its run ID in the `X-Adsafe-Run-Id` header.
 
 #![warn(missing_docs)]
 
@@ -31,6 +35,25 @@ pub mod http;
 pub mod server;
 
 pub use server::{Server, ServeConfig, ServeStats};
+
+/// The Info-severity, non-degrading fault recorded when a ledger line
+/// could not be parsed (torn by a crash mid-append, or hand-edited).
+/// Shared by the CLI and the daemon so both render identically.
+pub fn ledger_torn_fault(
+    ledger_file: &std::path::Path,
+    torn: &adsafe_ledger::TornLine,
+) -> adsafe::Fault {
+    adsafe::Fault {
+        phase: adsafe::FaultPhase::Ingest,
+        path: ledger_file.display().to_string(),
+        severity: adsafe::FaultSeverity::Info,
+        cause: adsafe::FaultCause::LedgerTorn {
+            detail: format!("line {}: {}", torn.line, torn.detail),
+        },
+        recovery: adsafe::Recovery::Noted,
+        run_id: String::new(),
+    }
+}
 
 /// Exit codes shared by the CLI and the daemon's `X-Adsafe-Exit-Code`
 /// header (documented in README.md; scripts rely on them).

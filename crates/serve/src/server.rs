@@ -25,8 +25,10 @@ use crate::http::{self, ReadError, Request, Response};
 use adsafe::fault::failpoints;
 use adsafe::iso26262::Asil;
 use adsafe::{render, Assessment, AssessmentOptions, MemoryFactsStore};
+use adsafe_ledger::{corpus_digest, Ledger, RunRecord};
 use adsafe_pool::Executor;
 use adsafe_trace::json::{write_escaped, Json};
+use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -84,6 +86,29 @@ struct Shared {
     /// handler panic or a degraded assessment), surfaced by `/healthz`.
     last_fault: Mutex<Option<String>>,
     last_degraded: AtomicBool,
+    /// One open [`Ledger`] per assessed corpus root, so sequence
+    /// numbers are allocated race-free within this process (cross-
+    /// process writers still interleave safely at the append level,
+    /// but may race sequence allocation — a documented limitation).
+    ledgers: Mutex<HashMap<PathBuf, Arc<Ledger>>>,
+    /// In-memory mirror of every run appended by this process, in
+    /// append order across all corpora — what `GET /runs` serves.
+    runs: Mutex<Vec<RunRecord>>,
+}
+
+impl Shared {
+    /// The open ledger for a corpus root, opening (and caching) it on
+    /// first use. `None` if the ledger directory cannot be created.
+    fn ledger_for(&self, root: &PathBuf) -> Option<Arc<Ledger>> {
+        let mut map = self.ledgers.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(l) = map.get(root) {
+            return Some(Arc::clone(l));
+        }
+        let dir = Ledger::dir_for_cache(&root.join(".adsafe-cache"));
+        let ledger = Arc::new(Ledger::open(&dir).ok()?);
+        map.insert(root.clone(), Arc::clone(&ledger));
+        Some(ledger)
+    }
 }
 
 /// A running daemon. Dropping it (or calling [`stop`](Server::stop))
@@ -110,6 +135,8 @@ impl Server {
             requests: AtomicU64::new(0),
             last_fault: Mutex::new(None),
             last_degraded: AtomicBool::new(false),
+            ledgers: Mutex::new(HashMap::new()),
+            runs: Mutex::new(Vec::new()),
         });
         let exec = Executor::new(config.handlers, config.queue_capacity);
         let accept = {
@@ -256,16 +283,51 @@ fn route(req: &Request, shared: &Arc<Shared>) -> Response {
     match (req.method.as_str(), path) {
         ("POST", "/assess") => assess(req, shared),
         ("POST", "/invalidate") => invalidate(req, shared),
-        ("GET", "/metrics") => Response::text(200, adsafe_trace::render_text()),
+        ("GET", "/metrics") => metrics(req),
         ("GET", "/healthz") => healthz(shared),
+        ("GET", "/runs") => runs_index(shared),
+        ("GET", p) if p.starts_with("/runs/") => {
+            runs_one(p.trim_start_matches("/runs/"), shared)
+        }
         (_, "/assess") | (_, "/invalidate") => {
             Response::text(405, "method not allowed\n").with_header("Allow", "POST")
         }
-        (_, "/metrics") | (_, "/healthz") => {
+        (_, "/metrics") | (_, "/healthz") | (_, "/runs") => {
+            Response::text(405, "method not allowed\n").with_header("Allow", "GET")
+        }
+        (_, p) if p.starts_with("/runs/") => {
             Response::text(405, "method not allowed\n").with_header("Allow", "GET")
         }
         _ => Response::text(404, "not found\n"),
     }
+}
+
+/// `GET /metrics[?format=prometheus]`: the stable adsafe text dump by
+/// default; the Prometheus exposition format on request.
+fn metrics(req: &Request) -> Response {
+    match query_param(&req.path, "format") {
+        Some("prometheus") => Response {
+            status: 200,
+            headers: vec![(
+                "Content-Type".into(),
+                "text/plain; version=0.0.4; charset=utf-8".into(),
+            )],
+            body: adsafe_trace::render_prometheus().into_bytes(),
+        },
+        Some(other) => {
+            Response::text(400, format!("unknown metrics format `{other}` (try prometheus)\n"))
+        }
+        None => Response::text(200, adsafe_trace::render_text()),
+    }
+}
+
+/// The value of `name` in the request path's query string, if present.
+fn query_param<'a>(path: &'a str, name: &str) -> Option<&'a str> {
+    let query = path.split_once('?')?.1;
+    query.split('&').find_map(|kv| {
+        let (k, v) = kv.split_once('=')?;
+        (k == name).then_some(v)
+    })
 }
 
 /// `POST /assess` body: `{"dir": "<corpus>", "asil": "D", "jobs": 4,
@@ -332,19 +394,63 @@ fn assess(req: &Request, shared: &Arc<Shared>) -> Response {
     if files.is_empty() {
         return Response::text(400, format!("no C/C++/CUDA sources under `{dir}`\n"));
     }
+    // Read all sources first: their content hashes (in stable file
+    // order, over the same lossy text the pipeline analyses) form the
+    // corpus digest that salts the run ID.
+    let mut sources: Vec<(String, String, Vec<u8>)> = Vec::new();
+    let mut hashes: Vec<u64> = Vec::new();
+    for f in &files {
+        if let Ok(bytes) = std::fs::read(f) {
+            let path = f.display().to_string();
+            hashes.push(adsafe::content_hash(&path, &String::from_utf8_lossy(&bytes)));
+            sources.push((module_of(&root, f), path, bytes));
+        }
+    }
+    let digest = corpus_digest(&hashes);
+    let ledger = shared.ledger_for(&root);
+    let (run_id, seq) = match &ledger {
+        Some(l) => {
+            let (id, seq) = l.reserve(&digest);
+            (id, seq)
+        }
+        None => (String::new(), 0),
+    };
+
     let mut assessment = Assessment::new().with_options(AssessmentOptions {
         asil,
         jobs,
         store: Some(Arc::clone(&shared.store)),
+        run_id: run_id.clone(),
         ..AssessmentOptions::default()
     });
-    for f in &files {
-        if let Ok(bytes) = std::fs::read(f) {
-            assessment.add_file_bytes(&module_of(&root, f), &f.display().to_string(), &bytes);
+    if let Some(l) = &ledger {
+        for torn in l.torn_lines() {
+            assessment.add_fault(crate::ledger_torn_fault(&l.file(), torn));
         }
+    }
+    for (module, path, bytes) in &sources {
+        assessment.add_file_bytes(module, path, bytes);
     }
     let report = assessment.run();
     drop(armed);
+    let exit_code = crate::exit_code_for(&report);
+    if let Some(l) = &ledger {
+        let record = RunRecord::from_report(
+            &report,
+            &run_id,
+            seq,
+            &root.display().to_string(),
+            &digest,
+            sources.len() as u64,
+            exit_code,
+        );
+        if l.append(&record).is_ok() {
+            adsafe_trace::counter("ledger.appends").incr();
+            shared.runs.lock().unwrap_or_else(|e| e.into_inner()).push(record);
+        } else {
+            adsafe_trace::counter("ledger.append_errors").incr();
+        }
+    }
 
     shared.last_degraded.store(report.degraded, Ordering::SeqCst);
     if let Some(worst) = report.faults.iter().map(|f| f.to_string()).last() {
@@ -366,15 +472,66 @@ fn assess(req: &Request, shared: &Arc<Shared>) -> Response {
     }
     let digest = format!("{:016x}", adsafe::content_hash("serve.trace", &digest_input));
 
-    Response {
+    let mut resp = Response {
         status: 200,
         headers: vec![("Content-Type".into(), "text/markdown; charset=utf-8".into())],
         body: render::deterministic_report_markdown(&report).into_bytes(),
     }
-    .with_header("X-Adsafe-Exit-Code", crate::exit_code_for(&report).to_string())
+    .with_header("X-Adsafe-Exit-Code", exit_code.to_string())
     .with_header("X-Adsafe-Degraded", report.degraded.to_string())
     .with_header("X-Adsafe-Cache-Hits", counter_of("cache.hits").to_string())
-    .with_header("X-Adsafe-Trace-Digest", digest)
+    .with_header("X-Adsafe-Trace-Digest", digest);
+    if !run_id.is_empty() {
+        resp = resp.with_header("X-Adsafe-Run-Id", run_id);
+    }
+    resp
+}
+
+/// `GET /runs`: summaries of every run this daemon has appended, in
+/// append order, as a JSON array.
+fn runs_index(shared: &Arc<Shared>) -> Response {
+    use std::fmt::Write as _;
+    let runs = shared.runs.lock().unwrap_or_else(|e| e.into_inner());
+    let mut out = String::from("[");
+    for (i, r) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"run\":");
+        write_escaped(&mut out, &r.run);
+        out.push_str(",\"corpus_root\":");
+        write_escaped(&mut out, &r.corpus_root);
+        let _ = write!(
+            out,
+            ",\"seq\":{},\"exit_code\":{},\"degraded\":{},\"files\":{},\"blocking\":{}}}",
+            r.seq,
+            r.exit_code,
+            r.degraded,
+            r.files,
+            r.blocking_count()
+        );
+    }
+    out.push(']');
+    Response::json(200, out)
+}
+
+/// `GET /runs/<ref>`: the full ledger record of one run — matched by
+/// run ID, unique ID prefix, or sequence number — as JSON.
+fn runs_one(reference: &str, shared: &Arc<Shared>) -> Response {
+    let runs = shared.runs.lock().unwrap_or_else(|e| e.into_inner());
+    let seq: Option<u64> = reference.parse().ok();
+    let matches: Vec<&RunRecord> = runs
+        .iter()
+        .filter(|r| Some(r.seq) == seq || r.run.starts_with(reference))
+        .collect();
+    match matches.as_slice() {
+        [one] => Response::json(200, one.to_json_line()),
+        [] => Response::text(404, format!("no run matches `{reference}`\n")),
+        many => Response::text(
+            409,
+            format!("`{reference}` is ambiguous ({} runs match); use more digits\n", many.len()),
+        ),
+    }
 }
 
 /// `POST /invalidate` body: `{"paths": ["a.cc", …]}` or
@@ -419,6 +576,7 @@ fn healthz(shared: &Arc<Shared>) -> Response {
     ));
     out.push_str(&format!(",\"queue_capacity\":{}", shared.queue_capacity));
     out.push_str(&format!(",\"store_entries\":{}", shared.store.len()));
+    out.push_str(&format!(",\"store_bytes\":{}", shared.store.bytes()));
     out.push_str(&format!(
         ",\"last_degraded\":{}",
         shared.last_degraded.load(Ordering::SeqCst)

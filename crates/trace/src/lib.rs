@@ -46,7 +46,8 @@ pub mod summary;
 
 pub use metrics::{
     counter, counter_delta, counter_snapshot, gauge, gauge_snapshot, histogram,
-    histogram_snapshot, render_text, Counter, Gauge, Histogram, HistogramSnapshot,
+    histogram_snapshot, render_prometheus, render_text, Counter, Gauge, Histogram,
+    HistogramSnapshot,
 };
 pub use span::{
     absorb, drain_from, enabled, mark, now_us, set_enabled, span, span_with, SpanEvent, SpanGuard,

@@ -261,6 +261,56 @@ pub fn render_text() -> String {
     out
 }
 
+/// Renders the whole registry in the Prometheus text exposition format
+/// (version 0.0.4). Metric names map `phase.component.metric` →
+/// `adsafe_phase_component_metric` (every character outside
+/// `[a-zA-Z0-9_]` becomes `_`, and everything gains the `adsafe_`
+/// prefix). Counters and gauges emit a `# TYPE` line and one sample;
+/// log₂ histograms emit the standard cumulative `_bucket` series (one
+/// `le` per non-empty bit-length bucket, upper bound `2^b − 1`, plus
+/// `le="+Inf"`), `_sum`, and `_count`.
+pub fn render_prometheus() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (name, v) in counter_snapshot() {
+        let n = prometheus_name(&name);
+        let _ = writeln!(out, "# TYPE {n} counter\n{n} {v}");
+    }
+    for (name, v) in gauge_snapshot() {
+        let n = prometheus_name(&name);
+        let _ = writeln!(out, "# TYPE {n} gauge\n{n} {v}");
+    }
+    for (name, h) in histogram_snapshot() {
+        let n = prometheus_name(&name);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let mut cumulative = 0u64;
+        for (b, &count) in h.buckets.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            cumulative += count;
+            // Bucket b holds values of bit length b: upper bound 2^b−1
+            // (bucket 0 holds only zeros, bound 0).
+            let le = if b == 0 { 0 } else { (1u64 << b) - 1 };
+            let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{n}_sum {}", h.sum);
+        let _ = writeln!(out, "{n}_count {}", h.count);
+    }
+    out
+}
+
+/// Maps a registry metric name onto the Prometheus grammar.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 7);
+    out.push_str("adsafe_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' });
+    }
+    out
+}
+
 /// Per-counter increase from `before` to `after` (new counters count
 /// from zero); zero deltas are omitted. Counters are global, so in a
 /// multi-threaded process the delta attributes concurrent increments
@@ -361,6 +411,44 @@ mod tests {
         assert!(a.contains("counter test.metrics.render_c 2"), "{a}");
         assert!(a.contains("gauge test.metrics.render_g 7"), "{a}");
         assert!(a.lines().any(|l| l.starts_with("hist test.metrics.render_h count ")), "{a}");
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        counter("test.metrics.prom-c").add(4);
+        gauge("test.metrics.prom_g").set(9);
+        let h = histogram("test.metrics.prom_h");
+        h.record(0);
+        h.record(3);
+        h.record(3);
+        h.record(1000);
+        let text = render_prometheus();
+        assert_eq!(text, render_prometheus(), "stable across renders");
+        // Dots and dashes both map to underscores, with the adsafe_ prefix.
+        assert!(text.contains("# TYPE adsafe_test_metrics_prom_c counter"), "{text}");
+        assert!(text.contains("adsafe_test_metrics_prom_c 4"), "{text}");
+        assert!(text.contains("# TYPE adsafe_test_metrics_prom_g gauge"), "{text}");
+        assert!(text.contains("adsafe_test_metrics_prom_g 9"), "{text}");
+        // Histogram: cumulative buckets at bit-length bounds.
+        assert!(text.contains("# TYPE adsafe_test_metrics_prom_h histogram"), "{text}");
+        assert!(text.contains("adsafe_test_metrics_prom_h_bucket{le=\"0\"} 1"), "{text}");
+        assert!(text.contains("adsafe_test_metrics_prom_h_bucket{le=\"3\"} 3"), "{text}");
+        assert!(text.contains("adsafe_test_metrics_prom_h_bucket{le=\"1023\"} 4"), "{text}");
+        assert!(text.contains("adsafe_test_metrics_prom_h_bucket{le=\"+Inf\"} 4"), "{text}");
+        assert!(text.contains("adsafe_test_metrics_prom_h_sum 1006"), "{text}");
+        assert!(text.contains("adsafe_test_metrics_prom_h_count 4"), "{text}");
+        // Cumulative monotonicity across every histogram in the dump.
+        let mut last: Option<(String, u64)> = None;
+        for line in text.lines().filter(|l| l.contains("_bucket{")) {
+            let (metric, rest) = line.split_once("_bucket{").unwrap();
+            let v: u64 = rest.split(' ').nth(1).unwrap().parse().unwrap();
+            if let Some((m, prev)) = &last {
+                if m == metric {
+                    assert!(v >= *prev, "cumulative counts must not decrease: {line}");
+                }
+            }
+            last = Some((metric.to_string(), v));
+        }
     }
 
     #[test]

@@ -387,6 +387,74 @@ fn healthz_and_routing_basics() {
     server.stop();
 }
 
+#[test]
+fn every_assessment_gets_a_run_id_and_a_ledger_record() {
+    let _g = serve_lock();
+    let corpus = corpus_dir("ledger");
+    let server = start_server(ServeConfig::default());
+    let addr = server.addr();
+
+    let first = request(addr, "POST", "/assess", &assess_body(&corpus, ""));
+    let second = request(addr, "POST", "/assess", &assess_body(&corpus, ""));
+    assert_eq!((first.status, second.status), (200, 200));
+    let id1 = first.header("x-adsafe-run-id").expect("run ID header").to_string();
+    let id2 = second.header("x-adsafe-run-id").expect("run ID header").to_string();
+    assert_ne!(id1, id2, "every run gets a fresh ID");
+    // Run IDs never leak into the deterministic report body.
+    assert!(!first.body_text().contains(&id1));
+
+    // The ledger records are served back over HTTP and show no drift
+    // between two identical runs.
+    let index = request(addr, "GET", "/runs", "");
+    assert_eq!(index.status, 200);
+    let listing = index.body_text();
+    assert!(listing.contains(&id1) && listing.contains(&id2), "{listing}");
+
+    let fetch = |id: &str| {
+        let one = request(addr, "GET", &format!("/runs/{id}"), "");
+        assert_eq!(one.status, 200, "GET /runs/{id}");
+        adsafe_ledger::RunRecord::from_json(&one.body_text()).expect("served record parses")
+    };
+    let (r1, r2) = (fetch(&id1), fetch(&id2));
+    assert_eq!(r1.corpus_digest, r2.corpus_digest);
+    assert!(!adsafe_ledger::RunDiff::between(&r1, &r2).has_drift());
+    assert_eq!(request(addr, "GET", "/runs/r999999-00000000", "").status, 404);
+
+    // A corpus mutation that flips a verdict is visible as drift
+    // between the served records.
+    std::fs::write(
+        corpus.join("control/pid.cc"),
+        "int Step(int err) {\n\
+           if (err < 0) { int err = 1; return err; }\n\
+           return err;\n\
+         }\n",
+    )
+    .unwrap();
+    let third = request(addr, "POST", "/assess", &assess_body(&corpus, ""));
+    assert_eq!(third.status, 200);
+    let r3 = fetch(third.header("x-adsafe-run-id").expect("run ID header"));
+    let drift = adsafe_ledger::RunDiff::between(&r2, &r3);
+    assert!(drift.has_drift(), "shadowing must flip a verdict:\n{}", drift.render());
+    assert!(drift.verdict_flips.iter().any(|f| f.key == "t8r4" && f.regressed));
+
+    // The Prometheus exposition serves the same registry.
+    let prom = request(addr, "GET", "/metrics?format=prometheus", "");
+    assert_eq!(prom.status, 200);
+    assert!(prom
+        .header("content-type")
+        .is_some_and(|t| t.starts_with("text/plain; version=0.0.4")));
+    let text = prom.body_text();
+    assert!(text.contains("# TYPE adsafe_serve_assessments counter"), "{text}");
+    assert_eq!(request(addr, "GET", "/metrics?format=xml", "").status, 400);
+
+    // /healthz surfaces the facts-store gauges.
+    let health = request(addr, "GET", "/healthz", "").body_text();
+    assert!(health.contains("\"store_bytes\":"), "{health}");
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&corpus);
+}
+
 // ---------------------------------------------------------------------
 // HTTP codec properties: the parser must accept everything the encoder
 // produces and never panic on anything else.
