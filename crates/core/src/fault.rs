@@ -132,6 +132,17 @@ pub enum FaultCause {
         /// Why the line was rejected.
         detail: String,
     },
+    /// The resident facts store crossed its byte budget and evicted
+    /// least-recently-used entries. No evidence is lost — evicted files
+    /// re-analyse from source (or promote back from disk) on their next
+    /// use — so this never degrades a report; it is the audit trail of
+    /// graceful degradation under memory pressure.
+    StoreEvicted {
+        /// Entries dropped by this eviction sweep.
+        entries: usize,
+        /// Serialised bytes released.
+        bytes: u64,
+    },
 }
 
 impl fmt::Display for FaultCause {
@@ -162,6 +173,9 @@ impl fmt::Display for FaultCause {
             FaultCause::Injected(name) => write!(f, "injected fault at `{name}`"),
             FaultCause::LedgerTorn { detail } => {
                 write!(f, "torn ledger line skipped ({detail})")
+            }
+            FaultCause::StoreEvicted { entries, bytes } => {
+                write!(f, "facts store evicted {entries} entr(ies) ({bytes} bytes) at its byte budget")
             }
         }
     }

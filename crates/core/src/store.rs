@@ -26,26 +26,44 @@
 //! (`POST /invalidate`): dropping a path removes the resident entry
 //! *and* evicts the disk entry, so the next request re-analyses from
 //! source.
+//!
+//! With a byte budget ([`MemoryFactsStore::open_budgeted`]), the store
+//! degrades gracefully under memory pressure instead of growing
+//! without bound: crossing the watermark evicts least-recently-used
+//! entries (dirty ones are demoted to the disk backing first, so no
+//! warm-start data is lost) until the store is back under budget.
+//! Evictions are counted in `store.evictions`, released bytes in
+//! `store.evicted_bytes`, and summarised as a non-degrading Info
+//! [`Fault`](crate::Fault) via [`take_eviction_fault`]
+//! (MemoryFactsStore::take_eviction_fault) — which the daemon surfaces
+//! through `/healthz`, *not* the assessment report: report bytes must
+//! stay a function of the assessed code alone, never of how much other
+//! traffic the store has absorbed.
 
 use crate::cache::{CacheLookup, FactsCache, FactsStore};
 use crate::facts::FileFacts;
+use crate::fault::{Fault, FaultCause, FaultPhase, FaultSeverity, Recovery};
 use adsafe_lang::FileId;
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
-/// One resident entry: the serialised facts and whether it still needs
-/// writing back to the disk cache.
-#[derive(Debug, Clone)]
+/// One resident entry: the serialised facts, whether it still needs
+/// writing back to the disk cache, and when it was last used (a
+/// logical-clock stamp driving LRU eviction; atomic so hits under the
+/// read lock can refresh recency without write-lock contention).
+#[derive(Debug)]
 struct Entry {
     path: String,
     json: String,
     dirty: bool,
+    last_use: AtomicU64,
 }
 
 /// A thread-safe facts store resident in process memory, with optional
-/// lazy write-back to an on-disk [`FactsCache`].
+/// lazy write-back to an on-disk [`FactsCache`] and an optional LRU
+/// byte budget.
 #[derive(Debug)]
 pub struct MemoryFactsStore {
     entries: RwLock<HashMap<u64, Entry>>,
@@ -55,18 +73,110 @@ pub struct MemoryFactsStore {
     /// map exactly). Backs the `store.facts.bytes` gauge and
     /// `/healthz`, making resident growth visible before it hurts.
     bytes: AtomicU64,
+    /// Byte budget; `0` means unbounded. Crossing it evicts LRU
+    /// entries until `bytes <= budget`.
+    budget: u64,
+    /// Logical clock stamping entry use; monotonic per store.
+    clock: AtomicU64,
+    /// Entries evicted since the last [`take_eviction_fault`]
+    /// (Self::take_eviction_fault) drain.
+    evicted_entries: AtomicU64,
+    /// Bytes released since the last drain.
+    evicted_bytes: AtomicU64,
 }
 
 impl MemoryFactsStore {
     /// Creates a store, backed by the disk cache at `dir` when given
     /// (misses fall through, dirty entries flush there on
-    /// [`flush`](Self::flush)); memory-only otherwise.
+    /// [`flush`](Self::flush)); memory-only otherwise. Unbounded — see
+    /// [`open_budgeted`](Self::open_budgeted) for the LRU byte budget.
     pub fn open(dir: Option<&Path>) -> MemoryFactsStore {
+        Self::open_budgeted(dir, 0)
+    }
+
+    /// [`open`](Self::open) with an LRU byte budget: whenever resident
+    /// serialised bytes exceed `budget`, least-recently-used entries
+    /// are evicted (dirty ones demoted to disk first) until the store
+    /// is back under. `0` means unbounded.
+    pub fn open_budgeted(dir: Option<&Path>, budget: u64) -> MemoryFactsStore {
         MemoryFactsStore {
             entries: RwLock::new(HashMap::new()),
             disk: dir.map(FactsCache::open),
             bytes: AtomicU64::new(0),
+            budget,
+            clock: AtomicU64::new(0),
+            evicted_entries: AtomicU64::new(0),
+            evicted_bytes: AtomicU64::new(0),
         }
+    }
+
+    /// The configured byte budget (`0` = unbounded).
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Next logical-clock stamp for an entry use.
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Evicts least-recently-used entries until resident bytes are
+    /// within budget, never evicting `keep` (the entry whose insertion
+    /// triggered the sweep — evicting it would thrash the very request
+    /// being served). Dirty victims are demoted to the disk backing
+    /// (best effort) so warm-start data survives the pressure. Callers
+    /// hold the `entries` write lock.
+    fn enforce_budget(&self, map: &mut HashMap<u64, Entry>, keep: u64) {
+        if self.budget == 0 {
+            return;
+        }
+        let mut evicted = 0u64;
+        let mut released = 0u64;
+        while self.bytes.load(Ordering::Relaxed) > self.budget && map.len() > 1 {
+            let victim = map
+                .iter()
+                .filter(|(h, _)| **h != keep)
+                .min_by_key(|(_, e)| e.last_use.load(Ordering::Relaxed))
+                .map(|(h, _)| *h);
+            let Some(h) = victim else { break };
+            let Some(e) = map.remove(&h) else { break };
+            if e.dirty {
+                if let Some(d) = &self.disk {
+                    let _ = d.store_raw(h, &e.json);
+                }
+            }
+            released += e.json.len() as u64;
+            self.bytes.fetch_sub(e.json.len() as u64, Ordering::Relaxed);
+            evicted += 1;
+        }
+        if evicted > 0 {
+            self.evicted_entries.fetch_add(evicted, Ordering::Relaxed);
+            self.evicted_bytes.fetch_add(released, Ordering::Relaxed);
+            adsafe_trace::counter("store.evictions").add(evicted);
+            adsafe_trace::counter("store.evicted_bytes").add(released);
+        }
+    }
+
+    /// Drains the eviction tally accumulated since the last call into
+    /// a non-degrading Info [`Fault`], or `None` when nothing was
+    /// evicted. The daemon routes this to its observability surfaces
+    /// (`/healthz`, the fault gauge) — deliberately *not* into the
+    /// assessment report, whose bytes must depend only on the assessed
+    /// corpus.
+    pub fn take_eviction_fault(&self) -> Option<Fault> {
+        let entries = self.evicted_entries.swap(0, Ordering::Relaxed);
+        let bytes = self.evicted_bytes.swap(0, Ordering::Relaxed);
+        if entries == 0 {
+            return None;
+        }
+        Some(Fault {
+            phase: FaultPhase::Ingest,
+            path: "facts-store".to_string(),
+            severity: FaultSeverity::Info,
+            cause: FaultCause::StoreEvicted { entries: entries as usize, bytes },
+            recovery: Recovery::Noted,
+            run_id: String::new(),
+        })
     }
 
     /// Number of resident entries.
@@ -161,7 +271,12 @@ impl FactsStore for MemoryFactsStore {
     fn load(&self, hash: u64, file: FileId) -> CacheLookup {
         let resident = {
             let map = self.entries.read().expect("facts store poisoned");
-            map.get(&hash).map(|e| e.json.clone())
+            map.get(&hash).map(|e| {
+                // Refresh recency under the read lock: a hit must not
+                // leave the entry looking LRU-stale.
+                e.last_use.store(self.tick(), Ordering::Relaxed);
+                e.json.clone()
+            })
         };
         if let Some(json) = resident {
             return match FileFacts::from_json(&json, file) {
@@ -189,10 +304,15 @@ impl FactsStore for MemoryFactsStore {
                     let mut map = self.entries.write().expect("facts store poisoned");
                     let json = facts.to_json();
                     let inserted = json.len();
-                    let old = map
-                        .insert(hash, Entry { path: String::new(), json, dirty: false })
-                        .map(|e| e.json.len());
+                    let entry = Entry {
+                        path: String::new(),
+                        json,
+                        dirty: false,
+                        last_use: AtomicU64::new(self.tick()),
+                    };
+                    let old = map.insert(hash, entry).map(|e| e.json.len());
                     self.account_insert(inserted, old);
+                    self.enforce_budget(&mut map, hash);
                     self.set_gauges(map.len());
                     CacheLookup::Hit(facts)
                 }
@@ -209,10 +329,15 @@ impl FactsStore for MemoryFactsStore {
         let mut map = self.entries.write().expect("facts store poisoned");
         let json = facts.to_json();
         let inserted = json.len();
-        let old = map
-            .insert(hash, Entry { path: path.to_string(), json, dirty: true })
-            .map(|e| e.json.len());
+        let entry = Entry {
+            path: path.to_string(),
+            json,
+            dirty: true,
+            last_use: AtomicU64::new(self.tick()),
+        };
+        let old = map.insert(hash, entry).map(|e| e.json.len());
         self.account_insert(inserted, old);
+        self.enforce_budget(&mut map, hash);
         adsafe_trace::counter("cache.stores").incr();
         self.set_gauges(map.len());
     }
@@ -312,6 +437,62 @@ mod tests {
             "neither memory nor disk may resurrect an invalidated path"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_used_first() {
+        let facts = FileFacts { recovery_count: 9, ..FileFacts::default() };
+        let entry_len = facts.to_json().len() as u64;
+        // Room for exactly two entries.
+        let store = MemoryFactsStore::open_budgeted(None, 2 * entry_len);
+        let (ha, hb, hc) = (
+            content_hash("m/a.cc", "a"),
+            content_hash("m/b.cc", "b"),
+            content_hash("m/c.cc", "c"),
+        );
+        store.store_entry(ha, "m/a.cc", &facts);
+        store.store_entry(hb, "m/b.cc", &facts);
+        assert_eq!(store.bytes(), 2 * entry_len);
+        assert!(store.take_eviction_fault().is_none(), "within budget: no eviction");
+        // Touch `a` so `b` is the LRU entry when `c` forces a sweep.
+        assert!(matches!(store.load(ha, FileId(0)), CacheLookup::Hit(_)));
+        store.store_entry(hc, "m/c.cc", &facts);
+        assert!(store.bytes() <= store.budget(), "sweep must restore the watermark");
+        assert!(matches!(store.load(hb, FileId(0)), CacheLookup::Miss), "LRU entry evicted");
+        assert!(matches!(store.load(ha, FileId(0)), CacheLookup::Hit(_)), "recently used survives");
+        assert!(matches!(store.load(hc, FileId(0)), CacheLookup::Hit(_)), "newest never evicted");
+        let fault = store.take_eviction_fault().expect("eviction recorded");
+        assert_eq!(fault.severity, FaultSeverity::Info);
+        assert_eq!(fault.recovery, Recovery::Noted);
+        assert!(matches!(fault.cause, FaultCause::StoreEvicted { entries: 1, .. }));
+        assert!(store.take_eviction_fault().is_none(), "tally drains on take");
+    }
+
+    #[test]
+    fn evicted_dirty_entries_demote_to_the_disk_backing() {
+        let dir = temp_dir("demote");
+        let facts = FileFacts { recovery_count: 4, ..FileFacts::default() };
+        let entry_len = facts.to_json().len() as u64;
+        let store = MemoryFactsStore::open_budgeted(Some(&dir), entry_len);
+        let (ha, hb) = (content_hash("m/a.cc", "a"), content_hash("m/b.cc", "b"));
+        store.store_entry(ha, "m/a.cc", &facts);
+        store.store_entry(hb, "m/b.cc", &facts); // evicts dirty `a`
+        assert!(store.bytes() <= entry_len);
+        // The demoted entry is gone from memory but survives on disk:
+        // loading it promotes it back instead of a cold miss.
+        assert!(matches!(store.load(ha, FileId(1)), CacheLookup::Hit(_)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_single_oversized_entry_is_kept() {
+        let facts = FileFacts { recovery_count: 7, ..FileFacts::default() };
+        let store = MemoryFactsStore::open_budgeted(None, 1);
+        let h = content_hash("m/big.cc", "x");
+        store.store_entry(h, "m/big.cc", &facts);
+        // Evicting the only entry would thrash the request being
+        // served; the budget is enforced as soon as a second arrives.
+        assert!(matches!(store.load(h, FileId(0)), CacheLookup::Hit(_)));
     }
 
     #[test]

@@ -105,6 +105,20 @@ impl Executor {
         self.inner.queue.lock().expect("executor queue poisoned").jobs.len()
     }
 
+    /// A load-shedding hint for rejected callers: roughly how many
+    /// seconds until the current backlog drains, assuming about one
+    /// second per queued job per worker — the right order of magnitude
+    /// for an assessment request, and deliberately coarse (a shed path
+    /// must stay cheap, so no timing samples are consulted). Clamped to
+    /// `1..=30` so a momentary spike never tells clients to go away for
+    /// minutes. The `adsafe serve` accept loop turns this into the
+    /// `Retry-After` header on its `503` responses.
+    pub fn retry_hint_secs(&self) -> u64 {
+        let depth = self.queue_depth() as u64;
+        let workers = self.workers.len().max(1) as u64;
+        (1 + depth / workers).clamp(1, 30)
+    }
+
     /// Maximum number of waiting jobs.
     pub fn capacity(&self) -> usize {
         self.inner.capacity
@@ -219,6 +233,37 @@ mod tests {
         exec.shutdown();
         assert_eq!(done.load(Ordering::SeqCst), 3);
         assert_eq!(adsafe_trace::gauge("pool.queue_depth").get(), 0);
+    }
+
+    #[test]
+    fn retry_hint_scales_with_backlog_per_worker() {
+        let exec = Executor::new(2, 64);
+        assert_eq!(exec.retry_hint_secs(), 1, "an empty queue drains immediately");
+        // Block both workers, then queue a backlog.
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let release_rx = Arc::new(Mutex::new(release_rx));
+        let (running_tx, running_rx) = mpsc::channel::<()>();
+        for _ in 0..2 {
+            let rx = Arc::clone(&release_rx);
+            let tx = running_tx.clone();
+            exec.try_submit(move || {
+                tx.send(()).unwrap();
+                let _ = rx.lock().unwrap().recv();
+            })
+            .ok()
+            .unwrap();
+        }
+        for _ in 0..2 {
+            running_rx.recv_timeout(Duration::from_secs(5)).expect("workers busy");
+        }
+        for _ in 0..8 {
+            exec.try_submit(|| {}).ok().unwrap();
+        }
+        // 8 queued jobs over 2 workers: ~4s of backlog plus the base 1.
+        assert_eq!(exec.retry_hint_secs(), 5);
+        release_tx.send(()).unwrap();
+        release_tx.send(()).unwrap();
+        exec.shutdown();
     }
 
     #[test]

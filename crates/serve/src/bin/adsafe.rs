@@ -6,7 +6,9 @@
 //!                     [--jobs N] [--no-cache] [--cache-dir PATH]
 //!                     [--no-ledger] [--trace-out t.json] [--profile] [-v] [-q]
 //! adsafe serve [--addr HOST:PORT] [--jobs N] [--handlers N] [--queue N]
-//!              [--cache-dir PATH]           # resident HTTP daemon
+//!              [--cache-dir PATH] [--keep-alive-max N] [--idle-timeout MS]
+//!              [--request-timeout MS] [--min-byte-rate B/S]
+//!              [--store-budget BYTES[k|m]]  # resident HTTP daemon
 //! adsafe history [<dir>] [--last N] [--cache-dir PATH]  # run ledger
 //! adsafe diff [<dir>] <run-a> <run-b> [--cache-dir PATH] # drift gate
 //! adsafe check <file> [<file>...]          # rule findings only
@@ -27,11 +29,18 @@
 //! and metrics extraction for unchanged files. Reports are
 //! byte-identical either way.
 //!
-//! `adsafe serve` (see DESIGN.md §9) keeps the facts store and thread
-//! pool resident behind an HTTP/1.1 interface (`POST /assess`,
-//! `GET /metrics`, `GET /healthz`, `POST /invalidate` — curl examples
-//! in README.md). SIGTERM / ctrl-c drains in-flight requests and
-//! flushes the facts store before exiting.
+//! `adsafe serve` (see DESIGN.md §9 and §11) keeps the facts store and
+//! thread pool resident behind an HTTP/1.1 keep-alive interface
+//! (`POST /assess`, `GET /metrics`, `GET /healthz`, `POST /invalidate`
+//! — curl examples in README.md). Connection lifecycle knobs:
+//! `--keep-alive-max` caps requests per connection (0 = unlimited),
+//! `--idle-timeout` / `--request-timeout` bound quiet and in-flight
+//! time (milliseconds, 0 disables), `--min-byte-rate` drops slow-loris
+//! clients, and `--store-budget` bounds the resident facts store
+//! (bytes, with `k`/`m` suffixes; 0 = unbounded) by LRU eviction.
+//! SIGTERM / ctrl-c drains in-flight requests — including idle
+//! keep-alive connections — and flushes the facts store before
+//! exiting.
 //!
 //! Observability flags (see DESIGN.md §7): `--trace-out` writes the
 //! run's spans as Chrome trace-event JSON (loadable in
@@ -93,12 +102,13 @@ fn main() {
                  {:17}[--jobs N] [--no-cache] [--cache-dir PATH] [--no-ledger]\n  \
                  {:17}[--trace-out t.json] [--profile] [-v] [-q]\n  \
                  adsafe serve [--addr HOST:PORT] [--jobs N] [--handlers N] [--queue N]\n  \
-                 {:13}[--cache-dir PATH]\n  \
+                 {:13}[--cache-dir PATH] [--keep-alive-max N] [--idle-timeout MS]\n  \
+                 {:13}[--request-timeout MS] [--min-byte-rate B/S] [--store-budget BYTES[k|m]]\n  \
                  adsafe history [<dir>] [--last N] [--cache-dir PATH]\n  \
                  adsafe diff [<dir>] <run-a> <run-b> [--cache-dir PATH]\n  \
                  adsafe check <file> [<file>...]\n  adsafe tables\n  \
                  adsafe trace-compare <baseline.json> <current.json>",
-                "", "", ""
+                "", "", "", ""
             );
             EXIT_USAGE
         }
@@ -539,6 +549,19 @@ fn install_shutdown_handlers() {
     }
 }
 
+/// Parses a byte size with an optional `k`/`m`/`g` suffix
+/// (case-insensitive): `512k` → 524288, `8m` → 8388608.
+fn parse_byte_size(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (digits, mult) = match s.chars().last()? {
+        'k' | 'K' => (&s[..s.len() - 1], 1024u64),
+        'm' | 'M' => (&s[..s.len() - 1], 1024 * 1024),
+        'g' | 'G' => (&s[..s.len() - 1], 1024 * 1024 * 1024),
+        _ => (s, 1),
+    };
+    digits.parse::<u64>().ok()?.checked_mul(mult)
+}
+
 /// `adsafe serve`: run the resident assessment daemon until SIGTERM or
 /// ctrl-c, then drain in-flight requests and flush the facts store.
 fn cmd_serve(args: &[String]) -> i32 {
@@ -596,6 +619,61 @@ fn cmd_serve(args: &[String]) -> i32 {
                     }
                 }
             }
+            "--keep-alive-max" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) => config.keep_alive_max = n,
+                    None => {
+                        eprintln!(
+                            "serve: --keep-alive-max needs a request count (0 = unlimited)"
+                        );
+                        return EXIT_USAGE;
+                    }
+                }
+            }
+            "--idle-timeout" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(ms) => config.idle_timeout = std::time::Duration::from_millis(ms),
+                    None => {
+                        eprintln!("serve: --idle-timeout needs milliseconds (0 = disabled)");
+                        return EXIT_USAGE;
+                    }
+                }
+            }
+            "--request-timeout" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(ms) => config.request_timeout = std::time::Duration::from_millis(ms),
+                    None => {
+                        eprintln!("serve: --request-timeout needs milliseconds (0 = disabled)");
+                        return EXIT_USAGE;
+                    }
+                }
+            }
+            "--min-byte-rate" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(rate) => config.min_byte_rate = rate,
+                    None => {
+                        eprintln!("serve: --min-byte-rate needs bytes/second (0 = disabled)");
+                        return EXIT_USAGE;
+                    }
+                }
+            }
+            "--store-budget" => {
+                i += 1;
+                match args.get(i).and_then(|s| parse_byte_size(s)) {
+                    Some(bytes) => config.store_budget = bytes,
+                    None => {
+                        eprintln!(
+                            "serve: --store-budget needs a byte size like 8m, 512k, or 1048576 \
+                             (0 = unbounded)"
+                        );
+                        return EXIT_USAGE;
+                    }
+                }
+            }
             other => {
                 eprintln!("serve: unknown option `{other}`");
                 return EXIT_USAGE;
@@ -611,14 +689,25 @@ fn cmd_serve(args: &[String]) -> i32 {
         }
     };
     eprintln!(
-        "adsafe serve listening on {} ({} handler(s), queue {}, cache {})",
+        "adsafe serve listening on {} ({} handler(s), queue {}, cache {}, \
+         keep-alive max {}, store budget {})",
         server.addr(),
         config.handlers,
         config.queue_capacity,
         config
             .cache_dir
             .as_deref()
-            .map_or_else(|| "memory-only".to_string(), |d| d.display().to_string())
+            .map_or_else(|| "memory-only".to_string(), |d| d.display().to_string()),
+        if config.keep_alive_max == 0 {
+            "unlimited".to_string()
+        } else {
+            config.keep_alive_max.to_string()
+        },
+        if config.store_budget == 0 {
+            "unbounded".to_string()
+        } else {
+            format!("{} bytes", config.store_budget)
+        }
     );
     install_shutdown_handlers();
     while !SHUTDOWN.load(Ordering::SeqCst) {

@@ -10,11 +10,27 @@
 //! and no input sequence may panic the parser (property-tested in
 //! `tests/serve_integration.rs`).
 //!
-//! Responses always carry `Content-Length` and `Connection: close`;
-//! one request per connection keeps the daemon's state machine — and
-//! its failure modes — trivial.
+//! Responses always carry `Content-Length`, and an explicit
+//! `Connection` header states the connection's fate: the daemon speaks
+//! HTTP/1.1 keep-alive (requests pipeline across one connection, each
+//! framed by `Content-Length`), and [`write_response_conn`] lets the
+//! server close deliberately — after an error, at the per-connection
+//! request cap, or when a client asked for `Connection: close`. The
+//! keep-alive *decision* ([`Request::wants_keep_alive`]) follows RFC
+//! 9112: 1.1 connections persist unless the client opts out, 1.0
+//! connections close unless the client opts in.
 
 use std::io::{BufRead, Write};
+
+/// The protocol version a request arrived under; decides the
+/// keep-alive default (persistent for 1.1, close for 1.0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Version {
+    /// `HTTP/1.0`.
+    Http10,
+    /// `HTTP/1.1`.
+    Http11,
+}
 
 /// Hard cap on the request line plus all header bytes.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -29,6 +45,8 @@ pub struct Request {
     pub method: String,
     /// Request target, verbatim (`/assess`, `/metrics?x=1`, …).
     pub path: String,
+    /// Protocol version (drives the keep-alive default).
+    pub version: Version,
     /// `(lower-cased name, value)` pairs in arrival order.
     pub headers: Vec<(String, String)>,
     /// Decoded body (chunked bodies arrive de-chunked).
@@ -39,6 +57,23 @@ impl Request {
     /// First value of the (lower-cased) header `name`, if present.
     pub fn header(&self, name: &str) -> Option<&str> {
         self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client expects this connection to persist after the
+    /// response (RFC 9112 §9.3): HTTP/1.1 defaults to keep-alive unless
+    /// a `Connection` header lists `close`; HTTP/1.0 defaults to close
+    /// unless one lists `keep-alive`.
+    pub fn wants_keep_alive(&self) -> bool {
+        let connection = self.header("connection").unwrap_or("");
+        let lists = |token: &str| {
+            connection
+                .split(',')
+                .any(|t| t.trim().eq_ignore_ascii_case(token))
+        };
+        match self.version {
+            Version::Http11 => !lists("close"),
+            Version::Http10 => lists("keep-alive"),
+        }
     }
 }
 
@@ -139,11 +174,15 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Request, ReadError> {
             ))))
         }
     };
-    if version != "HTTP/1.1" && version != "HTTP/1.0" {
-        return Err(ReadError::Parse(ParseError::BadRequest(format!(
-            "unsupported protocol `{version}`"
-        ))));
-    }
+    let version = match version {
+        "HTTP/1.1" => Version::Http11,
+        "HTTP/1.0" => Version::Http10,
+        other => {
+            return Err(ReadError::Parse(ParseError::BadRequest(format!(
+                "unsupported protocol `{other}`"
+            ))))
+        }
+    };
 
     let mut headers: Vec<(String, String)> = Vec::new();
     loop {
@@ -183,6 +222,7 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Request, ReadError> {
     Ok(Request {
         method: method.to_string(),
         path: path.to_string(),
+        version,
         headers,
         body,
     })
@@ -312,6 +352,7 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Content Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -320,8 +361,21 @@ fn reason(status: u16) -> &'static str {
 }
 
 /// Serialises `resp` onto `w` with `Content-Length` and
-/// `Connection: close` added.
+/// `Connection: close` added — the one-shot form for paths that always
+/// end the connection (parse failures, shutdown notices).
 pub fn write_response(w: &mut impl Write, resp: &Response) -> std::io::Result<()> {
+    write_response_conn(w, resp, false)
+}
+
+/// Serialises `resp` onto `w` with `Content-Length` added and the
+/// `Connection` header reflecting `keep_alive` — the server's actual
+/// persistence decision (client preference ∧ request cap ∧ no fatal
+/// error), not just the client's request.
+pub fn write_response_conn(
+    w: &mut impl Write,
+    resp: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
     let mut head = format!("HTTP/1.1 {} {}\r\n", resp.status, reason(resp.status));
     for (name, value) in &resp.headers {
         head.push_str(name);
@@ -330,7 +384,7 @@ pub fn write_response(w: &mut impl Write, resp: &Response) -> std::io::Result<()
         head.push_str("\r\n");
     }
     head.push_str(&format!("Content-Length: {}\r\n", resp.body.len()));
-    head.push_str("Connection: close\r\n\r\n");
+    head.push_str(if keep_alive { "Connection: keep-alive\r\n\r\n" } else { "Connection: close\r\n\r\n" });
     w.write_all(head.as_bytes())?;
     w.write_all(&resp.body)?;
     w.flush()
@@ -467,6 +521,49 @@ mod tests {
         assert_eq!(parsed.status, 200);
         assert_eq!(parsed.header("x-adsafe-exit-code"), Some("0"));
         assert_eq!(parsed.body_text(), "hello");
+    }
+
+    #[test]
+    fn keep_alive_follows_version_defaults_and_connection_overrides() {
+        let cases: &[(&[u8], bool)] = &[
+            (b"GET / HTTP/1.1\r\n\r\n", true),
+            (b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", false),
+            (b"GET / HTTP/1.1\r\nConnection: keep-alive, Upgrade\r\n\r\n", true),
+            (b"GET / HTTP/1.1\r\nConnection: CLOSE\r\n\r\n", false),
+            (b"GET / HTTP/1.0\r\n\r\n", false),
+            (b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", true),
+            (b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n", true),
+        ];
+        for (raw, expect) in cases {
+            let req = parse(raw).unwrap();
+            assert_eq!(req.wants_keep_alive(), *expect, "{:?}", String::from_utf8_lossy(raw));
+        }
+    }
+
+    #[test]
+    fn write_response_conn_states_the_connection_fate() {
+        let resp = Response::text(200, "ok");
+        let mut keep = Vec::new();
+        write_response_conn(&mut keep, &resp, true).unwrap();
+        let keep = String::from_utf8(keep).unwrap();
+        assert!(keep.contains("Connection: keep-alive\r\n"), "{keep}");
+        let mut close = Vec::new();
+        write_response_conn(&mut close, &resp, false).unwrap();
+        assert!(String::from_utf8(close).unwrap().contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back_from_one_reader() {
+        let wire = b"POST /assess HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi\
+                     GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut r = BufReader::new(&wire[..]);
+        let first = read_request(&mut r).unwrap();
+        assert_eq!(first.body, b"hi");
+        assert!(first.wants_keep_alive());
+        let second = read_request(&mut r).unwrap();
+        assert_eq!(second.path, "/metrics");
+        assert!(!second.wants_keep_alive());
+        assert!(matches!(read_request(&mut r), Err(ReadError::Closed)));
     }
 
     #[test]

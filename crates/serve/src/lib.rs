@@ -13,13 +13,21 @@
 //! The daemon is std-only like everything else in the workspace: the
 //! HTTP/1.1 codec lives in [`http`] (defensive, property-tested, never
 //! panics on wire input), and requests flow accept-loop → bounded
-//! queue → [`adsafe_pool::Executor`] workers. A full queue answers
-//! `503` with `Retry-After` instead of buffering unboundedly; a
-//! handler panic answers `500` with a fault summary and the daemon
-//! keeps serving. Graceful shutdown (SIGTERM / ctrl-c in the CLI)
-//! drains in-flight requests, flushes the facts store's dirty entries
-//! to the disk cache, and exits under the CLI's 0–5 exit-code
-//! contract. See DESIGN.md §9.
+//! queue → [`adsafe_pool::Executor`] workers. Connections are
+//! **keep-alive** by default: one connection serves many requests, up
+//! to a per-connection cap, under the idle/deadline/byte-rate budgets
+//! enforced by [`conn::DeadlineReader`] (a slow-loris client cannot
+//! pin a worker). A full queue answers `503` with a queue-depth-derived
+//! `Retry-After` instead of buffering unboundedly; a handler panic
+//! answers `500` with a fault summary, closes that connection, and the
+//! daemon keeps serving; the resident facts store degrades under a
+//! byte budget by evicting least-recently-used entries (dirty ones
+//! demote to the disk cache first) rather than growing without bound.
+//! Graceful shutdown (SIGTERM / ctrl-c in the CLI) drains in-flight
+//! requests — reclaiming even idle keep-alive connections within a
+//! poll slice — flushes the facts store's dirty entries to the disk
+//! cache, and exits under the CLI's 0–5 exit-code contract. See
+//! DESIGN.md §9 and §11.
 //!
 //! Endpoints: `POST /assess`, `GET /metrics` (`?format=prometheus`
 //! for the exposition format), `GET /healthz`, `POST /invalidate`,
@@ -30,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+pub mod conn;
 pub mod fsutil;
 pub mod http;
 pub mod server;

@@ -4,9 +4,13 @@
 //! One [`Server`] owns a non-blocking accept thread and an
 //! [`Executor`] of handler workers. Accepted connections are submitted
 //! to the executor's bounded queue; when the queue is full the accept
-//! thread itself answers `503` + `Retry-After` (a few hundred bytes of
-//! work — backpressure must stay cheap when the system is loaded). One
-//! request per connection: parse, route, respond, close.
+//! thread itself answers `503` + a queue-depth-derived `Retry-After`
+//! (a few hundred bytes of work — backpressure must stay cheap when
+//! the system is loaded). Admitted connections are **keep-alive**: one
+//! worker serves requests off the connection in a loop until the
+//! client opts out, the per-connection request cap is reached, a fatal
+//! error occurs, or a [`DeadlineReader`] budget trips (idle expiry →
+//! clean close; request deadline or slow-loris floor → `408` + close).
 //!
 //! Request handlers run under `catch_unwind`, mirroring the
 //! pipeline's fault isolation one level up: a panicking handler
@@ -20,6 +24,7 @@
 //! queued and in-flight requests through [`Executor::shutdown`], then
 //! flushes the facts store's dirty entries to its disk backing.
 
+use crate::conn::{DeadlineReader, ReadBudget, Trip};
 use crate::fsutil::{collect_sources, module_of};
 use crate::http::{self, ReadError, Request, Response};
 use adsafe::fault::failpoints;
@@ -51,6 +56,23 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Disk backing for the resident facts store (`None` = memory-only).
     pub cache_dir: Option<PathBuf>,
+    /// Max requests served per connection before the daemon closes it
+    /// (`0` = unlimited). Bounds how long one client can hold a worker.
+    pub keep_alive_max: usize,
+    /// Max quiet time between requests on a kept-alive connection
+    /// before it is closed cleanly (zero disables).
+    pub idle_timeout: Duration,
+    /// Max wall time for one request to arrive in full, and the write
+    /// timeout for its response (zero disables the read deadline).
+    pub request_timeout: Duration,
+    /// Minimum sustained bytes/second a started request must deliver
+    /// (after a grace period) before it is dropped as a slow-loris
+    /// client (`0` disables).
+    pub min_byte_rate: u64,
+    /// Resident facts store byte budget; above it, least-recently-used
+    /// entries are evicted (dirty ones demote to the disk cache).
+    /// `0` = unbounded.
+    pub store_budget: u64,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +83,11 @@ impl Default for ServeConfig {
             handlers: 2,
             queue_capacity: 32,
             cache_dir: None,
+            keep_alive_max: 64,
+            idle_timeout: Duration::from_secs(5),
+            request_timeout: Duration::from_secs(10),
+            min_byte_rate: 128,
+            store_budget: 0,
         }
     }
 }
@@ -80,7 +107,11 @@ struct Shared {
     store: Arc<MemoryFactsStore>,
     jobs: usize,
     queue_capacity: usize,
-    stop: AtomicBool,
+    keep_alive_max: usize,
+    budget: ReadBudget,
+    /// Shared with every connection's [`DeadlineReader`], so draining
+    /// reclaims idle keep-alive connections within one poll slice.
+    stop: Arc<AtomicBool>,
     requests: AtomicU64,
     /// Human-readable summary of the most recent contained fault (a
     /// handler panic or a degraded assessment), surfaced by `/healthz`.
@@ -128,10 +159,19 @@ impl Server {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let shared = Arc::new(Shared {
-            store: Arc::new(MemoryFactsStore::open(config.cache_dir.as_deref())),
+            store: Arc::new(MemoryFactsStore::open_budgeted(
+                config.cache_dir.as_deref(),
+                config.store_budget,
+            )),
             jobs: config.jobs,
             queue_capacity: config.queue_capacity,
-            stop: AtomicBool::new(false),
+            keep_alive_max: config.keep_alive_max,
+            budget: ReadBudget {
+                idle_timeout: config.idle_timeout,
+                request_timeout: config.request_timeout,
+                min_byte_rate: config.min_byte_rate,
+            },
+            stop: Arc::new(AtomicBool::new(false)),
             requests: AtomicU64::new(0),
             last_fault: Mutex::new(None),
             last_degraded: AtomicBool::new(false),
@@ -188,8 +228,15 @@ fn accept_loop(listener: TcpListener, exec: Executor, shared: &Arc<Shared>) -> u
         match listener.accept() {
             Ok((stream, _)) => {
                 let _ = stream.set_nonblocking(false);
-                let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-                let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+                // Responses are small and latency-bound: flush segments
+                // as written instead of Nagle-batching them.
+                let _ = stream.set_nodelay(true);
+                // Read pacing belongs to the connection's
+                // DeadlineReader; the socket-level timeout guards only
+                // the write side against a peer that stops draining.
+                if !shared.budget.request_timeout.is_zero() {
+                    let _ = stream.set_write_timeout(Some(shared.budget.request_timeout));
+                }
                 // A clone shares the fd, so the 503 path can still
                 // answer after the rejected job (owning the original)
                 // is dropped.
@@ -199,8 +246,16 @@ fn accept_loop(listener: TcpListener, exec: Executor, shared: &Arc<Shared>) -> u
                 if exec.try_submit(job).is_err() {
                     adsafe_trace::counter("serve.rejected").incr();
                     if let Some(mut s) = reject_stream {
-                        let resp = Response::text(503, "assessment queue full; retry shortly\n")
-                            .with_header("Retry-After", "1");
+                        let depth = exec.queue_depth();
+                        let retry = exec.retry_hint_secs();
+                        let resp = Response::json(
+                            503,
+                            format!(
+                                "{{\"error\":\"assessment queue full\",\
+                                 \"queue_depth\":{depth},\"retry_after_s\":{retry}}}\n"
+                            ),
+                        )
+                        .with_header("Retry-After", retry.to_string());
                         let _ = http::write_response(&mut s, &resp);
                     }
                 }
@@ -217,65 +272,120 @@ fn accept_loop(listener: TcpListener, exec: Executor, shared: &Arc<Shared>) -> u
     shared.store.flush()
 }
 
-/// One connection: read a request, route it under panic containment,
-/// write the response, close.
+/// One connection: serve requests in a keep-alive loop — parse, route
+/// under panic containment, respond — until the client opts out, the
+/// request cap is hit, a budget trips, or a fatal error ends it.
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
-    let t0 = Instant::now();
-    let trace_mark = adsafe_trace::mark();
     let Ok(read_half) = stream.try_clone() else { return };
-    let mut reader = BufReader::new(read_half);
+    let deadline = DeadlineReader::new(read_half, Arc::clone(&shared.stop), shared.budget);
+    let mut reader = BufReader::new(deadline);
     let mut writer = stream;
-    let req = match http::read_request(&mut reader) {
-        Ok(req) => req,
-        Err(ReadError::Closed) => return,
-        Err(ReadError::Io(_)) => {
-            adsafe_trace::counter("serve.io_errors").incr();
-            return;
-        }
-        Err(ReadError::Parse(e)) => {
-            adsafe_trace::counter("serve.http_errors").incr();
-            let resp = Response::text(e.status(), format!("{}\n", e.detail()));
-            let _ = http::write_response(&mut writer, &resp);
-            return;
-        }
-    };
-    shared.requests.fetch_add(1, Ordering::SeqCst);
-    adsafe_trace::counter("serve.requests").incr();
-    let resp = {
-        let _span = adsafe_trace::span_with(
-            "serve.request",
-            "serve",
-            vec![("method", req.method.clone()), ("path", req.path.clone())],
-        );
-        match catch_unwind(AssertUnwindSafe(|| route(&req, shared))) {
-            Ok(resp) => resp,
-            Err(payload) => {
-                // The serving layer broke — not the pipeline, which
-                // contains its own faults. Leave no armed failpoint
-                // behind on this worker thread.
-                failpoints::clear_all();
-                let msg = adsafe::fault::panic_message(&*payload);
-                adsafe_trace::counter("serve.panics").incr();
-                let summary = format!("handler panic on {} {}: {msg}", req.method, req.path);
-                *shared.last_fault.lock().unwrap_or_else(|e| e.into_inner()) =
-                    Some(summary.clone());
-                Response::text(
-                    500,
-                    format!(
-                        "DEGRADED: 1 fault(s) contained (serve 1); worst severity: critical\n  \
-                         [critical] serve `{}`: panic: {msg}; request aborted\n",
-                        req.path
-                    ),
-                )
+    let mut served: usize = 0;
+    loop {
+        reader.get_mut().begin_request();
+        let t0 = Instant::now();
+        let trace_mark = adsafe_trace::mark();
+        let req = match http::read_request(&mut reader) {
+            Ok(req) => req,
+            Err(ReadError::Closed) => return,
+            Err(ReadError::Io(_)) => {
+                // A budget trip surfaces as TimedOut; anything else is
+                // a genuine socket failure.
+                match reader.get_ref().trip() {
+                    Some(Trip::Idle) => {
+                        // The normal end of a keep-alive connection:
+                        // the client just had nothing more to say.
+                        adsafe_trace::counter("serve.idle_closes").incr();
+                    }
+                    Some(Trip::Deadline) => {
+                        adsafe_trace::counter("serve.request_timeouts").incr();
+                        let resp = Response::text(
+                            408,
+                            "request did not complete within the deadline\n",
+                        );
+                        let _ = http::write_response(&mut writer, &resp);
+                    }
+                    Some(Trip::SlowLoris) => {
+                        adsafe_trace::counter("serve.slowloris_drops").incr();
+                        let resp = Response::text(
+                            408,
+                            "request bytes arrived below the minimum rate\n",
+                        );
+                        let _ = http::write_response(&mut writer, &resp);
+                    }
+                    None => {
+                        adsafe_trace::counter("serve.io_errors").incr();
+                    }
+                }
+                return;
             }
+            Err(ReadError::Parse(e)) => {
+                // After a framing error the rest of the byte stream is
+                // unparseable noise; answer and close.
+                adsafe_trace::counter("serve.http_errors").incr();
+                let resp = Response::text(e.status(), format!("{}\n", e.detail()));
+                let _ = http::write_response(&mut writer, &resp);
+                return;
+            }
+        };
+        served += 1;
+        if served > 1 {
+            adsafe_trace::counter("serve.keepalive.reuses").incr();
         }
-    };
-    adsafe_trace::counter(&format!("serve.status.{}", resp.status)).incr();
-    let _ = http::write_response(&mut writer, &resp);
-    adsafe_trace::histogram("serve.request_us").record(t0.elapsed().as_micros() as u64);
-    // Handler threads are long-lived: drop this request's span events
-    // rather than letting the thread-local buffer grow per request.
-    let _ = adsafe_trace::drain_from(trace_mark);
+        shared.requests.fetch_add(1, Ordering::SeqCst);
+        adsafe_trace::counter("serve.requests").incr();
+        let mut panicked = false;
+        let resp = {
+            let _span = adsafe_trace::span_with(
+                "serve.request",
+                "serve",
+                vec![("method", req.method.clone()), ("path", req.path.clone())],
+            );
+            match catch_unwind(AssertUnwindSafe(|| route(&req, shared))) {
+                Ok(resp) => resp,
+                Err(payload) => {
+                    // The serving layer broke — not the pipeline, which
+                    // contains its own faults. Leave no armed failpoint
+                    // behind on this worker thread.
+                    failpoints::clear_all();
+                    let msg = adsafe::fault::panic_message(&*payload);
+                    adsafe_trace::counter("serve.panics").incr();
+                    panicked = true;
+                    let summary = format!("handler panic on {} {}: {msg}", req.method, req.path);
+                    *shared.last_fault.lock().unwrap_or_else(|e| e.into_inner()) =
+                        Some(summary.clone());
+                    Response::text(
+                        500,
+                        format!(
+                            "DEGRADED: 1 fault(s) contained (serve 1); worst severity: critical\n  \
+                             [critical] serve `{}`: panic: {msg}; request aborted\n",
+                            req.path
+                        ),
+                    )
+                }
+            }
+        };
+        // Persist only when everyone agrees: client preference, the
+        // request cap, no handler panic (its connection state is
+        // suspect), and the daemon not draining.
+        let keep = req.wants_keep_alive()
+            && !panicked
+            && (shared.keep_alive_max == 0 || served < shared.keep_alive_max)
+            && !shared.stop.load(Ordering::SeqCst);
+        adsafe_trace::counter(&format!("serve.status.{}", resp.status)).incr();
+        let wrote = http::write_response_conn(&mut writer, &resp, keep);
+        adsafe_trace::histogram("serve.request_us").record(t0.elapsed().as_micros() as u64);
+        // Handler threads are long-lived: drop this request's span
+        // events rather than letting the buffer grow per request.
+        let _ = adsafe_trace::drain_from(trace_mark);
+        if wrote.is_err() {
+            adsafe_trace::counter("serve.write_errors").incr();
+            return;
+        }
+        if !keep {
+            return;
+        }
+    }
 }
 
 fn route(req: &Request, shared: &Arc<Shared>) -> Response {
@@ -452,6 +562,14 @@ fn assess(req: &Request, shared: &Arc<Shared>) -> Response {
         }
     }
 
+    // Eviction pressure is daemon observability, not assessment
+    // outcome: the fault surfaces on /healthz (and the store.evictions
+    // counter), never in the report — whose bytes must stay identical
+    // to the CLI's regardless of cache pressure.
+    if let Some(evicted) = shared.store.take_eviction_fault() {
+        *shared.last_fault.lock().unwrap_or_else(|e| e.into_inner()) =
+            Some(evicted.to_string());
+    }
     shared.last_degraded.store(report.degraded, Ordering::SeqCst);
     if let Some(worst) = report.faults.iter().map(|f| f.to_string()).last() {
         *shared.last_fault.lock().unwrap_or_else(|e| e.into_inner()) = Some(worst);
@@ -577,6 +695,12 @@ fn healthz(shared: &Arc<Shared>) -> Response {
     out.push_str(&format!(",\"queue_capacity\":{}", shared.queue_capacity));
     out.push_str(&format!(",\"store_entries\":{}", shared.store.len()));
     out.push_str(&format!(",\"store_bytes\":{}", shared.store.bytes()));
+    out.push_str(&format!(",\"store_budget\":{}", shared.store.budget()));
+    out.push_str(&format!(
+        ",\"store_evictions\":{}",
+        adsafe_trace::counter("store.evictions").get()
+    ));
+    out.push_str(&format!(",\"keep_alive_max\":{}", shared.keep_alive_max));
     out.push_str(&format!(
         ",\"last_degraded\":{}",
         shared.last_degraded.load(Ordering::SeqCst)

@@ -45,8 +45,8 @@ pub mod span;
 pub mod summary;
 
 pub use metrics::{
-    counter, counter_delta, counter_snapshot, gauge, gauge_snapshot, histogram,
-    histogram_snapshot, render_prometheus, render_text, Counter, Gauge, Histogram,
+    counter, counter_delta, counter_snapshot, counters_with_prefix, gauge, gauge_snapshot,
+    histogram, histogram_snapshot, render_prometheus, render_text, Counter, Gauge, Histogram,
     HistogramSnapshot,
 };
 pub use span::{

@@ -216,6 +216,19 @@ pub fn counter_snapshot() -> BTreeMap<String, u64> {
     map.iter().map(|(k, v)| (k.clone(), v.get())).collect()
 }
 
+/// Counters whose name starts with `prefix`, sorted by name. Dotted
+/// metric families (`serve.status.*`, `chaos.injected.*`) are created
+/// dynamically, so consumers — the chaos harness tallying injected
+/// faults, a dashboard summing HTTP status classes — enumerate them by
+/// prefix rather than by a hardcoded list.
+pub fn counters_with_prefix(prefix: &str) -> Vec<(String, u64)> {
+    let map = registry().counters.lock().expect("counter registry poisoned");
+    map.range(prefix.to_string()..)
+        .take_while(|(k, _)| k.starts_with(prefix))
+        .map(|(k, v)| (k.clone(), v.get()))
+        .collect()
+}
+
 /// All gauges and their current levels, sorted by name.
 pub fn gauge_snapshot() -> BTreeMap<String, u64> {
     let map = registry().gauges.lock().expect("gauge registry poisoned");

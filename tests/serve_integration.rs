@@ -1,9 +1,10 @@
 //! End-to-end tests of the `adsafe serve` daemon over real TCP:
 //! CLI/HTTP report byte-identity, warm-request incrementality, fault
 //! isolation (500 without killing the daemon), queue backpressure
-//! (503 + recovery), invalidation, shutdown write-back — plus
-//! property tests of the HTTP codec (folding, chunked bodies, size
-//! limits, parser totality).
+//! (503 + recovery), keep-alive connection lifecycle (reuse, request
+//! cap, idle expiry, stall → 408), invalidation, shutdown write-back —
+//! plus property tests of the HTTP codec (folding, chunked bodies,
+//! size limits, parser totality, pipelined keep-alive streams).
 //!
 //! Counters and the metrics registry are process-global, so every
 //! server test serialises on [`serve_lock`].
@@ -266,10 +267,22 @@ fn full_queue_answers_503_and_recovers_after_drain() {
     c2.write_all(&http::encode_request("POST", "/assess", &[], plain_body.as_bytes())).unwrap();
     std::thread::sleep(Duration::from_millis(100)); // accept loop queued c2
 
-    // c3 overflows → 503 with Retry-After, answered by the accept loop.
+    // c3 overflows → 503 with a queue-depth-derived Retry-After,
+    // answered by the accept loop.
     let rejected = request(addr, "POST", "/assess", &plain_body);
     assert_eq!(rejected.status, 503, "{}", rejected.body_text());
-    assert_eq!(rejected.header("retry-after"), Some("1"));
+    let retry: u64 = rejected
+        .header("retry-after")
+        .expect("503 carries Retry-After")
+        .parse()
+        .expect("Retry-After is integral seconds");
+    assert!((1..=30).contains(&retry), "hint stays within the clamp: {retry}");
+    let body = rejected.body_text();
+    assert!(body.contains("\"queue_depth\":"), "{body}");
+    assert!(
+        body.contains(&format!("\"retry_after_s\":{retry}")),
+        "body and header must agree: {body}"
+    );
 
     // The admitted requests complete.
     let r1 = http::read_response(&mut BufReader::new(c1)).expect("c1 response");
@@ -282,6 +295,142 @@ fn full_queue_answers_503_and_recovers_after_drain() {
     assert_eq!(retried.status, 200, "retry after drain must succeed");
     server.stop();
     let _ = std::fs::remove_dir_all(&corpus);
+}
+
+/// Sends `wire` on an open stream and reads one response.
+fn round_trip(stream: &mut TcpStream, wire: &[u8]) -> Response {
+    stream.write_all(wire).expect("send request");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    http::read_response(&mut reader).expect("read response")
+}
+
+/// True once `stream` reaches EOF (the server closed its end).
+fn reaches_eof(stream: &mut TcpStream) -> bool {
+    use std::io::Read;
+    let mut probe = [0u8; 64];
+    loop {
+        match stream.read(&mut probe) {
+            Ok(0) => return true,
+            Ok(_) => continue, // residual bytes of an unread response
+            Err(_) => return false,
+        }
+    }
+}
+
+#[test]
+fn keep_alive_serves_many_requests_then_caps_the_connection() {
+    let _g = serve_lock();
+    let server = start_server(ServeConfig { keep_alive_max: 3, ..ServeConfig::default() });
+    let addr = server.addr();
+    let reuses_before = {
+        let m = request(addr, "GET", "/metrics", "").body_text();
+        metrics_counter(&m, "serve.keepalive.reuses")
+    };
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let wire = http::encode_request("GET", "/healthz", &[], b"");
+    for n in 1..=3 {
+        let resp = round_trip(&mut stream, &wire);
+        assert_eq!(resp.status, 200, "request {n} on the shared connection");
+        let expected = if n < 3 { "keep-alive" } else { "close" };
+        assert_eq!(
+            resp.header("connection"),
+            Some(expected),
+            "request {n}/3 against a cap of 3"
+        );
+    }
+    assert!(reaches_eof(&mut stream), "server closes at the request cap");
+
+    let reuses_after = {
+        let m = request(addr, "GET", "/metrics", "").body_text();
+        metrics_counter(&m, "serve.keepalive.reuses")
+    };
+    assert!(
+        reuses_after >= reuses_before + 2,
+        "requests 2 and 3 rode the same connection ({reuses_before} -> {reuses_after})"
+    );
+    server.stop();
+}
+
+#[test]
+fn connection_close_and_http10_clients_get_one_shot_connections() {
+    let _g = serve_lock();
+    let server = start_server(ServeConfig::default());
+    let addr = server.addr();
+
+    // Explicit opt-out on HTTP/1.1.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let resp = round_trip(
+        &mut s,
+        &http::encode_request("GET", "/healthz", &[("Connection", "close")], b""),
+    );
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("connection"), Some("close"));
+    assert!(reaches_eof(&mut s));
+
+    // HTTP/1.0 defaults to close without the opt-in.
+    let mut s10 = TcpStream::connect(addr).unwrap();
+    s10.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let resp = round_trip(&mut s10, b"GET /healthz HTTP/1.0\r\n\r\n");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("connection"), Some("close"));
+    assert!(reaches_eof(&mut s10));
+    server.stop();
+}
+
+#[test]
+fn idle_keep_alive_connections_expire_cleanly() {
+    let _g = serve_lock();
+    let server = start_server(ServeConfig {
+        idle_timeout: Duration::from_millis(200),
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    let idle_before = {
+        let m = request(addr, "GET", "/metrics", "").body_text();
+        metrics_counter(&m, "serve.idle_closes")
+    };
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let resp = round_trip(&mut stream, &http::encode_request("GET", "/healthz", &[], b""));
+    assert_eq!(resp.header("connection"), Some("keep-alive"));
+    // Then say nothing: the server closes without writing anything.
+    assert!(reaches_eof(&mut stream), "idle expiry is a clean close, not an error response");
+
+    let idle_after = {
+        let m = request(addr, "GET", "/metrics", "").body_text();
+        metrics_counter(&m, "serve.idle_closes")
+    };
+    assert!(idle_after > idle_before, "idle close must be counted");
+    server.stop();
+}
+
+#[test]
+fn a_stalled_request_answers_408_and_closes() {
+    let _g = serve_lock();
+    let server = start_server(ServeConfig {
+        request_timeout: Duration::from_millis(300),
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    // Half a request line, then silence: the request started (so this
+    // is not idle expiry) but can never complete.
+    stream.write_all(b"POST /assess HTT").unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let resp = http::read_response(&mut reader).expect("408 response");
+    assert_eq!(resp.status, 408);
+    assert_eq!(resp.header("connection"), Some("close"));
+    assert!(reaches_eof(&mut stream));
+
+    let m = request(addr, "GET", "/metrics", "").body_text();
+    assert!(metrics_counter(&m, "serve.request_timeouts") >= 1);
+    server.stop();
 }
 
 #[test]
@@ -551,5 +700,61 @@ proptest! {
         let mut wire = b"POST /assess HTTP/1.1\r\n".to_vec();
         wire.extend_from_slice(&tail);
         let _ = parse_bytes(&wire);
+    }
+
+    /// Keep-alive framing: any sequence of encoded requests parses
+    /// back request-by-request from one byte stream, each with the
+    /// right body — the property a persistent connection rests on.
+    #[test]
+    fn pipelined_requests_parse_back_to_back(
+        bodies in proptest::collection::vec(
+            proptest::collection::vec(0u8..255, 0..120),
+            1..6,
+        ),
+    ) {
+        let mut wire = Vec::new();
+        for (i, body) in bodies.iter().enumerate() {
+            wire.extend_from_slice(&http::encode_request(
+                "POST",
+                &format!("/assess/{i}"),
+                &[],
+                body,
+            ));
+        }
+        let mut reader = BufReader::new(&wire[..]);
+        for (i, body) in bodies.iter().enumerate() {
+            let req = http::read_request(&mut reader)
+                .unwrap_or_else(|e| panic!("request {i} must parse: {e:?}"));
+            prop_assert_eq!(req.path, format!("/assess/{i}"));
+            prop_assert_eq!(&req.body, body);
+            prop_assert!(req.wants_keep_alive());
+        }
+        prop_assert!(
+            matches!(http::read_request(&mut reader), Err(http::ReadError::Closed)),
+            "after the last pipelined request the stream ends cleanly"
+        );
+    }
+
+    /// Totality across request boundaries: however many valid requests
+    /// precede the soup, parsing them then hitting the soup never
+    /// panics — the parse error stays contained to the soup request.
+    #[test]
+    fn parser_never_panics_on_soup_between_pipelined_requests(
+        valid in 0usize..4,
+        soup in proptest::collection::vec(0u8..255, 1..160),
+    ) {
+        let mut wire = Vec::new();
+        for _ in 0..valid {
+            wire.extend_from_slice(&http::encode_request("GET", "/healthz", &[], b""));
+        }
+        wire.extend_from_slice(&soup);
+        let mut reader = BufReader::new(&wire[..]);
+        for i in 0..valid {
+            let req = http::read_request(&mut reader)
+                .unwrap_or_else(|e| panic!("request {i} before the soup must parse: {e:?}"));
+            prop_assert_eq!(req.path, "/healthz");
+        }
+        // The soup itself: any outcome but a panic.
+        let _ = http::read_request(&mut reader);
     }
 }
