@@ -14,17 +14,42 @@
 //! `pool.queue_depth` gauge, rejected submissions count into
 //! `pool.tasks_rejected`, completed jobs into `pool.tasks_completed`,
 //! and a job that panics is contained (counted in `pool.task_panics`)
-//! without taking its worker thread down.
+//! without taking its worker thread down. Every job is stamped at
+//! submission; the submit→start delta feeds the `pool.queue_wait`
+//! histogram (µs) and is readable from inside the job via
+//! [`take_queue_wait_us`] — the queue-depth gauge says how long the
+//! line *is*, the wait histogram says how long it *feels*.
 //!
 //! Shutdown is graceful by construction: [`Executor::shutdown`] stops
 //! admission, lets the workers drain every queued job, and joins them.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// One queued closure plus its admission timestamp.
+struct Job {
+    run: Box<dyn FnOnce() + Send + 'static>,
+    submitted: Instant,
+}
+
+thread_local! {
+    /// Queue wait of the job currently running on this worker thread.
+    static QUEUE_WAIT_US: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// The submit→start queue wait (µs) of the job currently running on
+/// this thread, consumed on read so one job observes only its own
+/// wait. `None` off executor workers or on a second read. Lets a job
+/// attribute its own latency (e.g. a request handler splitting
+/// queue-wait out of total service time) without the executor leaking
+/// timing through its `FnOnce()` interface.
+pub fn take_queue_wait_us() -> Option<u64> {
+    QUEUE_WAIT_US.with(Cell::take)
+}
 
 struct Queue {
     jobs: VecDeque<Job>,
@@ -93,7 +118,7 @@ impl Executor {
             adsafe_trace::counter("pool.tasks_rejected").incr();
             return Err(job);
         }
-        q.jobs.push_back(Box::new(job));
+        q.jobs.push_back(Job { run: Box::new(job), submitted: Instant::now() });
         adsafe_trace::gauge("pool.queue_depth").set(q.jobs.len() as u64);
         drop(q);
         self.inner.ready.notify_one();
@@ -174,9 +199,13 @@ fn worker_loop(inner: &Inner) {
             }
         };
         let Some(job) = job else { return };
-        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+        let wait_us = job.submitted.elapsed().as_micros() as u64;
+        adsafe_trace::histogram("pool.queue_wait").record(wait_us);
+        QUEUE_WAIT_US.with(|w| w.set(Some(wait_us)));
+        if catch_unwind(AssertUnwindSafe(job.run)).is_err() {
             adsafe_trace::counter("pool.task_panics").incr();
         }
+        QUEUE_WAIT_US.with(Cell::take);
         adsafe_trace::counter("pool.tasks_completed").incr();
     }
 }
@@ -295,6 +324,39 @@ mod tests {
         }
         exec.shutdown();
         assert_eq!(done.load(Ordering::SeqCst), 40);
+    }
+
+    #[test]
+    fn queue_wait_is_stamped_and_readable_inside_the_job() {
+        let hist = adsafe_trace::histogram("pool.queue_wait");
+        let count_before = hist.count();
+        let exec = Executor::new(1, 8);
+        // Block the worker so the second job measurably waits.
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (running_tx, running_rx) = mpsc::channel::<()>();
+        exec.try_submit(move || {
+            running_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        })
+        .ok()
+        .unwrap();
+        running_rx.recv_timeout(Duration::from_secs(5)).expect("worker started");
+        let (wait_tx, wait_rx) = mpsc::channel::<(Option<u64>, Option<u64>)>();
+        exec.try_submit(move || {
+            // First read yields this job's wait; the second is spent.
+            wait_tx.send((take_queue_wait_us(), take_queue_wait_us())).unwrap();
+        })
+        .ok()
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        release_tx.send(()).unwrap();
+        let (first, second) = wait_rx.recv_timeout(Duration::from_secs(5)).expect("job ran");
+        let waited = first.expect("job sees its own queue wait");
+        assert!(waited >= 10_000, "blocked ~20ms, saw {waited}µs");
+        assert_eq!(second, None, "queue wait is consumed on read");
+        exec.shutdown();
+        assert!(hist.count() >= count_before + 2, "every job feeds pool.queue_wait");
+        assert_eq!(take_queue_wait_us(), None, "non-worker threads see nothing");
     }
 
     #[test]

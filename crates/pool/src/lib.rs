@@ -31,7 +31,7 @@
 
 pub mod executor;
 
-pub use executor::Executor;
+pub use executor::{take_queue_wait_us, Executor};
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};

@@ -8,7 +8,10 @@
 //! adsafe serve [--addr HOST:PORT] [--jobs N] [--handlers N] [--queue N]
 //!              [--cache-dir PATH] [--keep-alive-max N] [--idle-timeout MS]
 //!              [--request-timeout MS] [--min-byte-rate B/S]
-//!              [--store-budget BYTES[k|m]]  # resident HTTP daemon
+//!              [--store-budget BYTES[k|m]] [--recorder-cap N]  # resident HTTP daemon
+//! adsafe top [--addr HOST:PORT] [--interval MS] [--count N]  # live dashboard
+//! adsafe loadgen <dir> [--clients N] [--requests N] [--addr HOST:PORT]
+//!                [--jobs N] [--out PATH] [--no-knee]  # keep-alive load driver
 //! adsafe history [<dir>] [--last N] [--cache-dir PATH]  # run ledger
 //! adsafe diff [<dir>] <run-a> <run-b> [--cache-dir PATH] # drift gate
 //! adsafe check <file> [<file>...]          # rule findings only
@@ -38,6 +41,13 @@
 //! time (milliseconds, 0 disables), `--min-byte-rate` drops slow-loris
 //! clients, and `--store-budget` bounds the resident facts store
 //! (bytes, with `k`/`m` suffixes; 0 = unbounded) by LRU eviction.
+//! `--recorder-cap` sizes the flight recorder's ring (completed
+//! requests retained for `GET /requests` and `GET /trace/recent`;
+//! default 256). `adsafe top` polls a daemon's `/metrics` + `/healthz`
+//! into a refreshing terminal dashboard, and `adsafe loadgen` drives
+//! keep-alive load at one (or at an in-process server over `<dir>`),
+//! writing interpolated p50/p99/p999 and the 503 saturation knee to
+//! `BENCH_load.json`. See DESIGN.md §12.
 //! SIGTERM / ctrl-c drains in-flight requests — including idle
 //! keep-alive connections — and flushes the facts store before
 //! exiting.
@@ -94,6 +104,8 @@ fn main() {
         Some("check") => cmd_check(&args[1..]),
         Some("tables") => cmd_tables(),
         Some("trace-compare") => cmd_trace_compare(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         // Implicit assess: `adsafe --profile --trace-out t.json <dir>`.
         _ if args.iter().any(|a| Path::new(a).is_dir()) => cmd_assess(&args),
         _ => {
@@ -104,11 +116,15 @@ fn main() {
                  adsafe serve [--addr HOST:PORT] [--jobs N] [--handlers N] [--queue N]\n  \
                  {:13}[--cache-dir PATH] [--keep-alive-max N] [--idle-timeout MS]\n  \
                  {:13}[--request-timeout MS] [--min-byte-rate B/S] [--store-budget BYTES[k|m]]\n  \
+                 {:13}[--recorder-cap N]\n  \
+                 adsafe top [--addr HOST:PORT] [--interval MS] [--count N]\n  \
+                 adsafe loadgen <dir> [--clients N] [--requests N] [--addr HOST:PORT]\n  \
+                 {:15}[--jobs N] [--out PATH] [--no-knee]\n  \
                  adsafe history [<dir>] [--last N] [--cache-dir PATH]\n  \
                  adsafe diff [<dir>] <run-a> <run-b> [--cache-dir PATH]\n  \
                  adsafe check <file> [<file>...]\n  adsafe tables\n  \
                  adsafe trace-compare <baseline.json> <current.json>",
-                "", "", "", ""
+                "", "", "", "", "", ""
             );
             EXIT_USAGE
         }
@@ -674,6 +690,16 @@ fn cmd_serve(args: &[String]) -> i32 {
                     }
                 }
             }
+            "--recorder-cap" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => config.recorder_cap = n,
+                    _ => {
+                        eprintln!("serve: --recorder-cap needs a positive record count");
+                        return EXIT_USAGE;
+                    }
+                }
+            }
             other => {
                 eprintln!("serve: unknown option `{other}`");
                 return EXIT_USAGE;
@@ -718,6 +744,173 @@ fn cmd_serve(args: &[String]) -> i32 {
     eprintln!(
         "serve: drained; {} request(s) served, {} facts entr(ies) flushed",
         stats.requests, stats.flushed_entries
+    );
+    EXIT_OK
+}
+
+/// `adsafe top`: a refreshing terminal dashboard over a live daemon's
+/// `/metrics` + `/healthz` — queue depth, keep-alive reuse, flight
+/// recorder fill, store pressure, status mix, chaos fault counters,
+/// and the per-endpoint p50/p99/p999 SLO table.
+fn cmd_top(args: &[String]) -> i32 {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut interval_ms: u64 = 2000;
+    let mut count: u64 = 0;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                match args.get(i) {
+                    Some(a) => addr = a.clone(),
+                    None => {
+                        eprintln!("top: --addr needs HOST:PORT");
+                        return EXIT_USAGE;
+                    }
+                }
+            }
+            "--interval" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(ms) if ms > 0 => interval_ms = ms,
+                    _ => {
+                        eprintln!("top: --interval needs positive milliseconds");
+                        return EXIT_USAGE;
+                    }
+                }
+            }
+            "--count" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(n) => count = n,
+                    None => {
+                        eprintln!("top: --count needs a frame count (0 = forever)");
+                        return EXIT_USAGE;
+                    }
+                }
+            }
+            other => {
+                eprintln!("top: unknown option `{other}`");
+                return EXIT_USAGE;
+            }
+        }
+        i += 1;
+    }
+    match adsafe_serve::top::run_top(&addr, std::time::Duration::from_millis(interval_ms), count)
+    {
+        Ok(()) => EXIT_OK,
+        Err(e) => {
+            eprintln!("top: {e}");
+            EXIT_IO
+        }
+    }
+}
+
+/// `adsafe loadgen`: drive keep-alive load at a daemon (an external
+/// `--addr`, or an in-process server over `<dir>`), then report
+/// interpolated p50/p99/p999 service latency and the 503 saturation
+/// knee as `adsafe-bench-load/1` JSON.
+fn cmd_loadgen(args: &[String]) -> i32 {
+    let mut cfg = adsafe_serve::loadgen::LoadgenConfig::default();
+    let mut out = PathBuf::from("BENCH_load.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--clients" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => cfg.clients = n,
+                    _ => {
+                        eprintln!("loadgen: --clients needs a positive count");
+                        return EXIT_USAGE;
+                    }
+                }
+            }
+            "--requests" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => cfg.requests = n,
+                    _ => {
+                        eprintln!("loadgen: --requests needs a positive per-client count");
+                        return EXIT_USAGE;
+                    }
+                }
+            }
+            "--addr" => {
+                i += 1;
+                match args.get(i) {
+                    Some(a) => cfg.addr = Some(a.clone()),
+                    None => {
+                        eprintln!("loadgen: --addr needs HOST:PORT");
+                        return EXIT_USAGE;
+                    }
+                }
+            }
+            "--jobs" | "-j" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) => cfg.jobs = n,
+                    None => {
+                        eprintln!("loadgen: --jobs needs a worker count (0 = auto)");
+                        return EXIT_USAGE;
+                    }
+                }
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out = PathBuf::from(p),
+                    None => {
+                        eprintln!("loadgen: --out needs a path");
+                        return EXIT_USAGE;
+                    }
+                }
+            }
+            "--no-knee" => cfg.skip_knee = true,
+            other if cfg.corpus.as_os_str().is_empty() && Path::new(other).is_dir() => {
+                cfg.corpus = PathBuf::from(other);
+            }
+            other => {
+                eprintln!("loadgen: unknown option or missing corpus dir: `{other}`");
+                return EXIT_USAGE;
+            }
+        }
+        i += 1;
+    }
+    if cfg.corpus.as_os_str().is_empty() {
+        eprintln!("loadgen: missing <dir> (the corpus to assess under load)");
+        return EXIT_USAGE;
+    }
+    eprintln!(
+        "loadgen: {} client(s) x {} request(s) against {} ...",
+        cfg.clients,
+        cfg.requests,
+        cfg.addr.as_deref().unwrap_or("an in-process server")
+    );
+    let report = match adsafe_serve::loadgen::run_loadgen(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return EXIT_IO;
+        }
+    };
+    let json = report.to_json();
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("loadgen: cannot write {}: {e}", out.display());
+        return EXIT_IO;
+    }
+    print!("{json}");
+    let q = |p: f64| report.latency.quantile_estimate(p) as f64 / 1000.0;
+    eprintln!(
+        "loadgen: {} ok, {} x 503; p50 {:.2} ms, p99 {:.2} ms, p999 {:.2} ms; \
+         knee at {} client(s); wrote {}",
+        report.completed,
+        report.rejected_503,
+        q(0.50),
+        q(0.99),
+        q(0.999),
+        report.knee_clients,
+        out.display()
     );
     EXIT_OK
 }

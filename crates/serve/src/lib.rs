@@ -31,17 +31,24 @@
 //!
 //! Endpoints: `POST /assess`, `GET /metrics` (`?format=prometheus`
 //! for the exposition format), `GET /healthz`, `POST /invalidate`,
-//! `GET /runs`, `GET /runs/<id>` — curl examples in README.md
-//! §Serving. Every assessment — served or CLI — appends one record to
-//! the corpus's run ledger (`.adsafe-cache/ledger/`, see DESIGN.md
-//! §10) and carries its run ID in the `X-Adsafe-Run-Id` header.
+//! `GET /runs`, `GET /runs/<id>`, `GET /requests` (the flight
+//! recorder's JSONL access log, filterable by `?status=`/`?endpoint=`),
+//! `GET /trace/recent` (the same ring as Chrome trace-event JSON) —
+//! curl examples in README.md §Serving and §Watching a live daemon.
+//! Every assessment — served or CLI — appends one record to the
+//! corpus's run ledger (`.adsafe-cache/ledger/`, see DESIGN.md §10)
+//! and carries its run ID in the `X-Adsafe-Run-Id` header; the same
+//! run IDs appear in `/requests` rows, correlating the access log with
+//! `adsafe history`. Telemetry plane: DESIGN.md §12.
 
 #![warn(missing_docs)]
 
 pub mod conn;
 pub mod fsutil;
 pub mod http;
+pub mod loadgen;
 pub mod server;
+pub mod top;
 
 pub use server::{Server, ServeConfig, ServeStats};
 

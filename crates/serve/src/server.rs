@@ -33,6 +33,8 @@ use adsafe::{render, Assessment, AssessmentOptions, MemoryFactsStore};
 use adsafe_ledger::{corpus_digest, Ledger, RunRecord};
 use adsafe_pool::Executor;
 use adsafe_trace::json::{write_escaped, Json};
+use adsafe_trace::{labeled, FlightRecorder, PhaseTiming, RequestRecord};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -73,6 +75,10 @@ pub struct ServeConfig {
     /// entries are evicted (dirty ones demote to the disk cache).
     /// `0` = unbounded.
     pub store_budget: u64,
+    /// Flight-recorder capacity: how many completed requests the
+    /// in-memory ring (`GET /requests`, `GET /trace/recent`) retains
+    /// before evicting oldest-first. Clamped to at least 1.
+    pub recorder_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -88,6 +94,7 @@ impl Default for ServeConfig {
             request_timeout: Duration::from_secs(10),
             min_byte_rate: 128,
             store_budget: 0,
+            recorder_cap: 256,
         }
     }
 }
@@ -125,6 +132,47 @@ struct Shared {
     /// In-memory mirror of every run appended by this process, in
     /// append order across all corpora — what `GET /runs` serves.
     runs: Mutex<Vec<RunRecord>>,
+    /// Ring of completed-request records — the `/requests` access log
+    /// and `/trace/recent` trace source.
+    recorder: FlightRecorder,
+    /// Connection ID allocator (1-based; doubles as the Chrome trace
+    /// `tid` track in `/trace/recent`).
+    next_conn: AtomicU64,
+}
+
+thread_local! {
+    /// Phase timings noted by the handler running on this worker, read
+    /// back by the connection loop when it builds the request's
+    /// [`RequestRecord`]. Thread-local works because a handler runs
+    /// inline on the connection's worker thread.
+    static REQUEST_PHASES: RefCell<Vec<PhaseTiming>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Notes one phase of the request currently being handled.
+fn note_phase(name: &str, start_us: u64, dur_us: u64) {
+    REQUEST_PHASES.with(|p| {
+        p.borrow_mut().push(PhaseTiming { name: name.to_string(), start_us, dur_us });
+    });
+}
+
+/// Takes (and clears) the phases noted so far on this worker.
+fn take_phases() -> Vec<PhaseTiming> {
+    REQUEST_PHASES.with(|p| std::mem::take(&mut *p.borrow_mut()))
+}
+
+/// The short endpoint key used as the `endpoint` label on
+/// `serve.latency` series and accepted by `/requests?endpoint=`.
+fn endpoint_key(path: &str) -> &'static str {
+    match path {
+        "/assess" => "assess",
+        "/invalidate" => "invalidate",
+        "/metrics" => "metrics",
+        "/healthz" => "healthz",
+        "/requests" => "requests",
+        "/trace/recent" => "trace",
+        p if p == "/runs" || p.starts_with("/runs/") => "runs",
+        _ => "other",
+    }
 }
 
 impl Shared {
@@ -177,6 +225,8 @@ impl Server {
             last_degraded: AtomicBool::new(false),
             ledgers: Mutex::new(HashMap::new()),
             runs: Mutex::new(Vec::new()),
+            recorder: FlightRecorder::new(config.recorder_cap),
+            next_conn: AtomicU64::new(0),
         });
         let exec = Executor::new(config.handlers, config.queue_capacity);
         let accept = {
@@ -277,6 +327,11 @@ fn accept_loop(listener: TcpListener, exec: Executor, shared: &Arc<Shared>) -> u
 /// request cap is hit, a budget trips, or a fatal error ends it.
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     let Ok(read_half) = stream.try_clone() else { return };
+    let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed) + 1;
+    let conn_start_us = adsafe_trace::now_us();
+    // The submit→start delta of this connection's executor job, billed
+    // to the first request as its `queue_wait` phase.
+    let mut queue_wait_us = adsafe_pool::take_queue_wait_us();
     let deadline = DeadlineReader::new(read_half, Arc::clone(&shared.stop), shared.budget);
     let mut reader = BufReader::new(deadline);
     let mut writer = stream;
@@ -334,6 +389,17 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
         }
         shared.requests.fetch_add(1, Ordering::SeqCst);
         adsafe_trace::counter("serve.requests").incr();
+        // Service time starts once the request has fully arrived —
+        // client think-time between keep-alive requests is not billed
+        // to the request record or the latency series.
+        let req_start_us = adsafe_trace::now_us();
+        // Drop any phases a previous (panicked) handler left behind on
+        // this worker, then bill the executor queue wait to the
+        // connection's first request.
+        let _ = take_phases();
+        if let Some(wait) = queue_wait_us.take() {
+            note_phase("queue_wait", conn_start_us.saturating_sub(wait), wait);
+        }
         let mut panicked = false;
         let resp = {
             let _span = adsafe_trace::span_with(
@@ -372,9 +438,40 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
             && !panicked
             && (shared.keep_alive_max == 0 || served < shared.keep_alive_max)
             && !shared.stop.load(Ordering::SeqCst);
-        adsafe_trace::counter(&format!("serve.status.{}", resp.status)).incr();
+        let status = resp.status.to_string();
+        adsafe_trace::counter(&labeled("serve.status", &[("code", &status)])).incr();
+        let write_start_us = adsafe_trace::now_us();
         let wrote = http::write_response_conn(&mut writer, &resp, keep);
+        let end_us = adsafe_trace::now_us();
+        note_phase("write", write_start_us, end_us.saturating_sub(write_start_us));
         adsafe_trace::histogram("serve.request_us").record(t0.elapsed().as_micros() as u64);
+        // Per-endpoint×status SLO series (service time, µs).
+        let endpoint = req.path.split('?').next().unwrap_or("").to_string();
+        adsafe_trace::histogram(&labeled(
+            "serve.latency",
+            &[("endpoint", endpoint_key(&endpoint)), ("status", &status)],
+        ))
+        .record(end_us.saturating_sub(req_start_us));
+        // Flight-record the completed request: the record is built
+        // whole after the response write, so a connection that dies
+        // mid-request leaves nothing behind. Phases cover queue-wait
+        // (first request), the pipeline breakdown noted by the
+        // handler, render, and the response write.
+        let mut phases = take_phases();
+        phases.sort_by_key(|p| p.start_us);
+        let start_us = phases.first().map_or(req_start_us, |p| p.start_us.min(req_start_us));
+        shared.recorder.record(RequestRecord {
+            seq: 0,
+            run_id: resp.header("X-Adsafe-Run-Id").unwrap_or_default().to_string(),
+            method: req.method.clone(),
+            endpoint,
+            status: resp.status,
+            conn_id,
+            reuse: (served - 1) as u64,
+            start_us,
+            total_us: end_us.saturating_sub(start_us),
+            phases,
+        });
         // Handler threads are long-lived: drop this request's span
         // events rather than letting the buffer grow per request.
         let _ = adsafe_trace::drain_from(trace_mark);
@@ -395,6 +492,8 @@ fn route(req: &Request, shared: &Arc<Shared>) -> Response {
         ("POST", "/invalidate") => invalidate(req, shared),
         ("GET", "/metrics") => metrics(req),
         ("GET", "/healthz") => healthz(shared),
+        ("GET", "/requests") => requests_log(req, shared),
+        ("GET", "/trace/recent") => trace_recent(shared),
         ("GET", "/runs") => runs_index(shared),
         ("GET", p) if p.starts_with("/runs/") => {
             runs_one(p.trim_start_matches("/runs/"), shared)
@@ -402,7 +501,8 @@ fn route(req: &Request, shared: &Arc<Shared>) -> Response {
         (_, "/assess") | (_, "/invalidate") => {
             Response::text(405, "method not allowed\n").with_header("Allow", "POST")
         }
-        (_, "/metrics") | (_, "/healthz") | (_, "/runs") => {
+        (_, "/metrics") | (_, "/healthz") | (_, "/runs") | (_, "/requests")
+        | (_, "/trace/recent") => {
             Response::text(405, "method not allowed\n").with_header("Allow", "GET")
         }
         (_, p) if p.starts_with("/runs/") => {
@@ -429,6 +529,61 @@ fn metrics(req: &Request) -> Response {
         }
         None => Response::text(200, adsafe_trace::render_text()),
     }
+}
+
+/// `GET /requests[?status=200&endpoint=assess&last=50]`: the flight
+/// recorder's retained records as a JSONL access log, oldest first.
+/// `endpoint` matches either the short key (`assess`) or the literal
+/// path (`/assess`); `last` truncates to the most recent N rows after
+/// filtering.
+fn requests_log(req: &Request, shared: &Arc<Shared>) -> Response {
+    let status: Option<u16> = match query_param(&req.path, "status") {
+        Some(s) => match s.parse() {
+            Ok(v) => Some(v),
+            Err(_) => return Response::text(400, "`status` must be a status code\n"),
+        },
+        None => None,
+    };
+    let endpoint = query_param(&req.path, "endpoint");
+    let last: Option<usize> = match query_param(&req.path, "last") {
+        Some(s) => match s.parse() {
+            Ok(v) => Some(v),
+            Err(_) => return Response::text(400, "`last` must be a non-negative integer\n"),
+        },
+        None => None,
+    };
+    let mut rows: Vec<RequestRecord> = shared
+        .recorder
+        .snapshot()
+        .into_iter()
+        .filter(|r| status.is_none_or(|s| r.status == s))
+        .filter(|r| {
+            endpoint.is_none_or(|e| r.endpoint == e || endpoint_key(&r.endpoint) == e)
+        })
+        .collect();
+    if let Some(n) = last {
+        if rows.len() > n {
+            rows.drain(..rows.len() - n);
+        }
+    }
+    let mut body = String::with_capacity(rows.len() * 192);
+    for r in &rows {
+        body.push_str(&r.to_json_line());
+        body.push('\n');
+    }
+    Response {
+        status: 200,
+        headers: vec![("Content-Type".into(), "application/x-ndjson".into())],
+        body: body.into_bytes(),
+    }
+}
+
+/// `GET /trace/recent`: the flight recorder re-emitted as a Chrome
+/// trace-event document — one `tid` track per connection, one complete
+/// event per request with its phases nested under it. Loads directly
+/// in `chrome://tracing` / Perfetto.
+fn trace_recent(shared: &Arc<Shared>) -> Response {
+    Response::json(200, shared.recorder.to_chrome_json())
 }
 
 /// The value of `name` in the request path's query string, if present.
@@ -543,6 +698,19 @@ fn assess(req: &Request, shared: &Arc<Shared>) -> Response {
     }
     let report = assessment.run();
     drop(armed);
+    // The pipeline drains its own span events into the report, so the
+    // connection loop never sees them — re-note the phase breakdown
+    // (parse, checks, metrics, assess) for the flight recorder from
+    // the report's raw events, which carry real start timestamps.
+    for e in &report.trace.events {
+        if e.cat == "phase" {
+            note_phase(
+                e.name.strip_prefix("phase.").unwrap_or(&e.name),
+                e.start_us,
+                e.dur_us,
+            );
+        }
+    }
     let exit_code = crate::exit_code_for(&report);
     if let Some(l) = &ledger {
         let record = RunRecord::from_report(
@@ -590,10 +758,17 @@ fn assess(req: &Request, shared: &Arc<Shared>) -> Response {
     }
     let digest = format!("{:016x}", adsafe::content_hash("serve.trace", &digest_input));
 
+    let render_start_us = adsafe_trace::now_us();
+    let body = render::deterministic_report_markdown(&report).into_bytes();
+    note_phase(
+        "render",
+        render_start_us,
+        adsafe_trace::now_us().saturating_sub(render_start_us),
+    );
     let mut resp = Response {
         status: 200,
         headers: vec![("Content-Type".into(), "text/markdown; charset=utf-8".into())],
-        body: render::deterministic_report_markdown(&report).into_bytes(),
+        body,
     }
     .with_header("X-Adsafe-Exit-Code", exit_code.to_string())
     .with_header("X-Adsafe-Degraded", report.degraded.to_string())
@@ -701,6 +876,9 @@ fn healthz(shared: &Arc<Shared>) -> Response {
         adsafe_trace::counter("store.evictions").get()
     ));
     out.push_str(&format!(",\"keep_alive_max\":{}", shared.keep_alive_max));
+    out.push_str(&format!(",\"recorder_len\":{}", shared.recorder.len()));
+    out.push_str(&format!(",\"recorder_cap\":{}", shared.recorder.capacity()));
+    out.push_str(&format!(",\"recorder_evicted\":{}", shared.recorder.evicted()));
     out.push_str(&format!(
         ",\"last_degraded\":{}",
         shared.last_degraded.load(Ordering::SeqCst)

@@ -41,14 +41,16 @@ pub mod chrome;
 pub mod flame;
 pub mod json;
 pub mod metrics;
+pub mod recorder;
 pub mod span;
 pub mod summary;
 
 pub use metrics::{
     counter, counter_delta, counter_snapshot, counters_with_prefix, gauge, gauge_snapshot,
-    histogram, histogram_snapshot, render_prometheus, render_text, Counter, Gauge, Histogram,
-    HistogramSnapshot,
+    histogram, histogram_snapshot, labeled, render_prometheus, render_text, Counter, Gauge,
+    Histogram, HistogramSnapshot,
 };
+pub use recorder::{FlightRecorder, PhaseTiming, RequestRecord};
 pub use span::{
     absorb, drain_from, enabled, mark, now_us, set_enabled, span, span_with, SpanEvent, SpanGuard,
 };

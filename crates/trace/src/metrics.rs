@@ -156,6 +156,79 @@ impl HistogramSnapshot {
         }
         u64::MAX
     }
+
+    /// The `q`-quantile estimated by linear interpolation *inside* the
+    /// log₂ bucket holding it. [`quantile_bound`](Self::quantile_bound)
+    /// answers with the bucket's upper bound, which overstates tail
+    /// quantiles by up to 2×; this interpolates between the bucket's
+    /// bounds by the quantile's rank within the bucket, assuming the
+    /// recorded values spread uniformly across it — the estimate every
+    /// reported quantile (`/metrics`, `adsafe top`, the load bench)
+    /// uses. Always ≥ the bucket's lower bound and ≤ `quantile_bound`.
+    pub fn quantile_estimate(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let before = seen;
+            seen += n;
+            if seen >= target {
+                if b == 0 {
+                    return 0;
+                }
+                let lo = 1u64 << (b - 1);
+                // The last bucket also absorbs values of bit length
+                // > 63, so its honest upper bound is u64::MAX.
+                let hi =
+                    if b >= BUCKETS - 1 { u64::MAX } else { (1u64 << b) - 1 };
+                // Rank of the target within this bucket, in (0, 1].
+                // Saturate: the top bucket's width rounds up to 2⁶³
+                // in f64, which would overflow a plain add.
+                let frac = (target - before) as f64 / n as f64;
+                return lo.saturating_add(((hi - lo) as f64 * frac) as u64).min(hi);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// Canonical registry key for a labeled metric: `name{k="v",k2="v2"}`
+/// with labels sorted by key and values escaped (`\` → `\\`, `"` →
+/// `\"`, newline → `\n` — the Prometheus label-value escapes, so the
+/// label block can be re-emitted verbatim in the exposition format).
+/// Labeled series live in the same registry as unlabeled ones; the key
+/// is the identity, so the same `(name, labels)` always resolves to
+/// the same handle. [`render_text`] prints the key verbatim;
+/// [`render_prometheus`] splits it back into `name{labels}` samples.
+pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    let mut labels: Vec<(&str, &str)> = labels.to_vec();
+    labels.sort_by(|a, b| a.0.cmp(b.0));
+    let mut out = String::with_capacity(name.len() + labels.len() * 16);
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
 }
 
 #[derive(Default)]
@@ -216,9 +289,10 @@ pub fn counter_snapshot() -> BTreeMap<String, u64> {
     map.iter().map(|(k, v)| (k.clone(), v.get())).collect()
 }
 
-/// Counters whose name starts with `prefix`, sorted by name. Dotted
-/// metric families (`serve.status.*`, `chaos.injected.*`) are created
-/// dynamically, so consumers — the chaos harness tallying injected
+/// Counters whose name starts with `prefix`, sorted by name. Dynamic
+/// metric families — dotted (`chaos.injected.*`) or labeled
+/// (`serve.status{code="..."}`, see [`labeled`]) — are created on
+/// first touch, so consumers — the chaos harness tallying injected
 /// faults, a dashboard summing HTTP status classes — enumerate them by
 /// prefix rather than by a hardcoded list.
 pub fn counters_with_prefix(prefix: &str) -> Vec<(String, u64)> {
@@ -244,13 +318,17 @@ pub fn histogram_snapshot() -> BTreeMap<String, HistogramSnapshot> {
 /// Renders the whole registry in a stable text format: one
 /// space-separated line per metric, sorted by kind then name, so two
 /// snapshots of the same state are byte-identical. Histograms render
-/// their count, sum, and log₂-resolution p50/p99 bucket bounds.
+/// their count, sum, and interpolated p50/p99/p999 estimates
+/// ([`HistogramSnapshot::quantile_estimate`]). Labeled series print
+/// their full registry key (`name{k="v"}`) verbatim; unlabeled lines
+/// are unchanged from earlier format revisions.
 ///
 /// ```text
 /// # adsafe-metrics/1
 /// counter cache.hits 12
+/// counter serve.status{code="200"} 9
 /// gauge pool.queue_depth 3
-/// hist serve.request_us count 4 sum 81236 p50 16383 p99 32767
+/// hist serve.request_us count 4 sum 81236 p50 14210 p99 29833 p999 31460
 /// ```
 pub fn render_text() -> String {
     use std::fmt::Write as _;
@@ -264,52 +342,97 @@ pub fn render_text() -> String {
     for (name, h) in histogram_snapshot() {
         let _ = writeln!(
             out,
-            "hist {name} count {} sum {} p50 {} p99 {}",
+            "hist {name} count {} sum {} p50 {} p99 {} p999 {}",
             h.count,
             h.sum,
-            h.quantile_bound(0.5),
-            h.quantile_bound(0.99)
+            h.quantile_estimate(0.5),
+            h.quantile_estimate(0.99),
+            h.quantile_estimate(0.999)
         );
     }
     out
+}
+
+/// Splits a registry key into its base name and optional label block
+/// (the inner `k="v",…` text, braces stripped). Keys without `{` are
+/// fully the base name.
+fn split_key(key: &str) -> (&str, Option<&str>) {
+    match key.split_once('{') {
+        Some((base, rest)) => (base, Some(rest.trim_end_matches('}'))),
+        None => (key, None),
+    }
+}
+
+/// Groups registry entries by base metric name so every labeled series
+/// of a family emits under a single `# TYPE` line (Prometheus requires
+/// a metric's samples to be contiguous and typed once).
+fn group_by_base<V>(entries: BTreeMap<String, V>) -> BTreeMap<String, Vec<(Option<String>, V)>> {
+    let mut grouped: BTreeMap<String, Vec<(Option<String>, V)>> = BTreeMap::new();
+    for (key, v) in entries {
+        let (base, labels) = split_key(&key);
+        grouped.entry(base.to_string()).or_default().push((labels.map(str::to_string), v));
+    }
+    grouped
 }
 
 /// Renders the whole registry in the Prometheus text exposition format
 /// (version 0.0.4). Metric names map `phase.component.metric` →
 /// `adsafe_phase_component_metric` (every character outside
 /// `[a-zA-Z0-9_]` becomes `_`, and everything gains the `adsafe_`
-/// prefix). Counters and gauges emit a `# TYPE` line and one sample;
-/// log₂ histograms emit the standard cumulative `_bucket` series (one
-/// `le` per non-empty bit-length bucket, upper bound `2^b − 1`, plus
-/// `le="+Inf"`), `_sum`, and `_count`.
+/// prefix). Registry keys built with [`labeled`] re-emit their label
+/// block verbatim — only the base name is sanitised — and every series
+/// of a family shares one `# TYPE` line. Counters and gauges emit one
+/// sample per series; log₂ histograms emit the standard cumulative
+/// `_bucket` series (one `le` per non-empty bit-length bucket, upper
+/// bound `2^b − 1`, plus `le="+Inf"`), `_sum`, and `_count`, with any
+/// series labels ahead of `le`. Output for unlabeled registries is
+/// byte-identical to earlier revisions.
 pub fn render_prometheus() -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    for (name, v) in counter_snapshot() {
-        let n = prometheus_name(&name);
-        let _ = writeln!(out, "# TYPE {n} counter\n{n} {v}");
-    }
-    for (name, v) in gauge_snapshot() {
-        let n = prometheus_name(&name);
-        let _ = writeln!(out, "# TYPE {n} gauge\n{n} {v}");
-    }
-    for (name, h) in histogram_snapshot() {
-        let n = prometheus_name(&name);
-        let _ = writeln!(out, "# TYPE {n} histogram");
-        let mut cumulative = 0u64;
-        for (b, &count) in h.buckets.iter().enumerate() {
-            if count == 0 {
-                continue;
+    for (base, series) in group_by_base(counter_snapshot()) {
+        let n = prometheus_name(&base);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        for (labels, v) in series {
+            match labels {
+                Some(l) => { let _ = writeln!(out, "{n}{{{l}}} {v}"); }
+                None => { let _ = writeln!(out, "{n} {v}"); }
             }
-            cumulative += count;
-            // Bucket b holds values of bit length b: upper bound 2^b−1
-            // (bucket 0 holds only zeros, bound 0).
-            let le = if b == 0 { 0 } else { (1u64 << b) - 1 };
-            let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cumulative}");
         }
-        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
-        let _ = writeln!(out, "{n}_sum {}", h.sum);
-        let _ = writeln!(out, "{n}_count {}", h.count);
+    }
+    for (base, series) in group_by_base(gauge_snapshot()) {
+        let n = prometheus_name(&base);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        for (labels, v) in series {
+            match labels {
+                Some(l) => { let _ = writeln!(out, "{n}{{{l}}} {v}"); }
+                None => { let _ = writeln!(out, "{n} {v}"); }
+            }
+        }
+    }
+    for (base, series) in group_by_base(histogram_snapshot()) {
+        let n = prometheus_name(&base);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        for (labels, h) in series {
+            // A labeled series prefixes its labels ahead of `le`:
+            // `name_bucket{endpoint="assess",le="1023"}`.
+            let pre = labels.as_deref().map(|l| format!("{l},")).unwrap_or_default();
+            let suffix = labels.as_deref().map(|l| format!("{{{l}}}")).unwrap_or_default();
+            let mut cumulative = 0u64;
+            for (b, &count) in h.buckets.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                cumulative += count;
+                // Bucket b holds values of bit length b: upper bound 2^b−1
+                // (bucket 0 holds only zeros, bound 0).
+                let le = if b == 0 { 0 } else { (1u64 << b) - 1 };
+                let _ = writeln!(out, "{n}_bucket{{{pre}le=\"{le}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{n}_bucket{{{pre}le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{n}_sum{suffix} {}", h.sum);
+            let _ = writeln!(out, "{n}_count{suffix} {}", h.count);
+        }
     }
     out
 }
@@ -462,6 +585,98 @@ mod tests {
             }
             last = Some((metric.to_string(), v));
         }
+    }
+
+    #[test]
+    fn quantile_estimate_interpolates_within_bucket() {
+        let h = Histogram::default();
+        // 100 values spread across bucket 11 ([1024, 2047]).
+        for i in 0..100 {
+            h.record(1024 + i * 10);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile_estimate(0.5);
+        let p999 = s.quantile_estimate(0.999);
+        // The bound answer collapses everything to 2047; the estimate
+        // must sit inside the bucket and order its quantiles.
+        assert_eq!(s.quantile_bound(0.5), 2047);
+        assert!((1024..=2047).contains(&p50), "p50 = {p50}");
+        assert!((1024..=2047).contains(&p999), "p999 = {p999}");
+        assert!(p50 < p999, "p50 {p50} must undercut p999 {p999}");
+        // Uniform spread: p50 lands near the bucket midpoint.
+        assert!((1400..=1700).contains(&p50), "p50 = {p50}");
+        // Estimates never exceed the bound.
+        for q in [0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert!(s.quantile_estimate(q) <= s.quantile_bound(q), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn quantile_estimate_edge_buckets() {
+        let empty = Histogram::default().snapshot();
+        assert_eq!(empty.quantile_estimate(0.99), 0);
+        let h = Histogram::default();
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.snapshot().quantile_estimate(0.99), 0, "zeros stay zero");
+        let top = Histogram::default();
+        top.record(u64::MAX);
+        let est = top.snapshot().quantile_estimate(1.0);
+        assert!(est >= 1u64 << 62, "top bucket reaches the u64 range: {est}");
+    }
+
+    #[test]
+    fn labeled_keys_are_canonical_and_escaped() {
+        assert_eq!(
+            labeled("serve.latency", &[("status", "200"), ("endpoint", "assess")]),
+            "serve.latency{endpoint=\"assess\",status=\"200\"}",
+            "labels sort by key"
+        );
+        assert_eq!(
+            labeled("m", &[("k", "a\"b\\c\nd")]),
+            "m{k=\"a\\\"b\\\\c\\nd\"}",
+            "values escape quote, backslash, newline"
+        );
+        // Same labels in any order → same registry handle.
+        let a = counter(&labeled("test.metrics.lbl", &[("x", "1"), ("y", "2")]));
+        a.add(5);
+        let b = counter(&labeled("test.metrics.lbl", &[("y", "2"), ("x", "1")]));
+        assert_eq!(b.get(), 5);
+    }
+
+    #[test]
+    fn prometheus_renders_labeled_series_under_one_type_line() {
+        counter(&labeled("test.metrics.plabel", &[("endpoint", "assess")])).add(3);
+        counter(&labeled("test.metrics.plabel", &[("endpoint", "healthz")])).add(1);
+        let h = histogram(&labeled("test.metrics.plabelh", &[("endpoint", "assess")]));
+        h.record(100);
+        h.record(900);
+        let text = render_prometheus();
+        assert_eq!(
+            text.matches("# TYPE adsafe_test_metrics_plabel counter").count(),
+            1,
+            "one TYPE line for the family: {text}"
+        );
+        assert!(text.contains("adsafe_test_metrics_plabel{endpoint=\"assess\"} 3"), "{text}");
+        assert!(text.contains("adsafe_test_metrics_plabel{endpoint=\"healthz\"} 1"), "{text}");
+        // Histogram series carry their labels ahead of `le`.
+        assert!(
+            text.contains("adsafe_test_metrics_plabelh_bucket{endpoint=\"assess\",le=\"127\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("adsafe_test_metrics_plabelh_bucket{endpoint=\"assess\",le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("adsafe_test_metrics_plabelh_sum{endpoint=\"assess\"} 1000"), "{text}");
+        assert!(text.contains("adsafe_test_metrics_plabelh_count{endpoint=\"assess\"} 2"), "{text}");
+    }
+
+    #[test]
+    fn render_text_prints_labeled_keys_verbatim() {
+        counter(&labeled("test.metrics.tlabel", &[("code", "200")])).add(2);
+        let text = render_text();
+        assert!(text.contains("counter test.metrics.tlabel{code=\"200\"} 2"), "{text}");
     }
 
     #[test]

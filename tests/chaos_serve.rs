@@ -359,6 +359,99 @@ fn reset_storms_and_slow_drips_are_contained() {
 }
 
 #[test]
+fn flight_recorder_stays_coherent_through_a_seeded_storm() {
+    let _g = serve_lock();
+    let corpus = corpus_dir("recorder-storm");
+    let golden = cli_golden_report(&corpus);
+    // A deliberately tiny ring so the storm overruns it many times
+    // over and FIFO eviction is the common case, not the edge case.
+    let cap = 8usize;
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        recorder_cap: cap,
+        ..chaos_config()
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    let scripts = scripts(&corpus);
+    for seed in 100..=110u64 {
+        let proxy = ChaosProxy::start(addr, ChaosPlan::new(seed)).expect("proxy");
+        for (i, script) in scripts.iter().enumerate() {
+            drive_connection(
+                proxy.addr(),
+                &format!("seed {seed}, connection {i}"),
+                script,
+                &golden,
+            );
+        }
+        proxy.stop();
+    }
+
+    // Invariant: no half-written records. Every row the ring serves
+    // parses as complete JSON with the full schema, even though the
+    // requests behind them were torn, reset, and slow-dripped.
+    let log = direct(addr, "GET", "/requests", "");
+    assert_eq!(log.status, 200);
+    let rows: Vec<adsafe::trace::json::Json> = log
+        .body_text()
+        .lines()
+        .map(|l| {
+            adsafe::trace::json::Json::parse(l)
+                .unwrap_or_else(|e| panic!("half-written access-log row: {e}\n{l}"))
+        })
+        .collect();
+    assert!(!rows.is_empty() && rows.len() <= cap, "ring holds at most {cap}: {}", rows.len());
+    let seq = |row: &adsafe::trace::json::Json| {
+        row.get("seq").and_then(|v| v.as_f64()).expect("seq field") as u64
+    };
+    for row in &rows {
+        for k in ["run", "method", "endpoint", "status", "conn", "reuse", "total_us"] {
+            assert!(row.get(k).is_some(), "row missing {k}");
+        }
+    }
+
+    // FIFO eviction: rows are the *newest* records, seqs contiguous
+    // oldest-first, and the arithmetic recorded − retained = evicted
+    // holds against /healthz's tallies.
+    for pair in rows.windows(2) {
+        assert_eq!(seq(&pair[1]), seq(&pair[0]) + 1, "contiguous FIFO window");
+    }
+    // The newest seq seen so far, then the tallies *after* it: the
+    // eviction counter must already account for everything that seq
+    // implies was pushed out of an 8-slot ring.
+    let last_seq = rows.last().map(seq).expect("ring is non-empty");
+    let health = direct(addr, "GET", "/healthz", "").body_text();
+    let field = |name: &str| -> u64 {
+        health
+            .split(&format!("\"{name}\":"))
+            .nth(1)
+            .and_then(|s| s.split(&[',', '}'][..]).next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("healthz reports {name}: {health}"))
+    };
+    assert!(health.contains(&format!("\"recorder_cap\":{cap}")), "{health}");
+    assert!(
+        field("recorder_evicted") >= last_seq.saturating_sub(cap as u64),
+        "evicted tally accounts for everything pushed out of the ring: \
+         evicted {} against seq {last_seq}",
+        field("recorder_evicted")
+    );
+
+    // The trace view of the same ring is valid Chrome trace JSON.
+    let trace = direct(addr, "GET", "/trace/recent", "");
+    assert_eq!(trace.status, 200);
+    adsafe::trace::chrome::validate(&trace.body_text())
+        .expect("post-storm /trace/recent passes the Chrome validator");
+
+    // And the daemon is unharmed: golden bytes on a clean connection.
+    let after = direct(addr, "POST", "/assess", &format!("{{\"dir\":\"{}\"}}", corpus.display()));
+    assert_eq!((after.status, after.body_text()), (200, golden));
+    server.stop();
+    let _ = std::fs::remove_dir_all(&corpus);
+}
+
+#[test]
 fn store_eviction_under_memory_pressure_never_changes_report_bytes() {
     let _g = serve_lock();
     let corpus = corpus_dir("pressure");

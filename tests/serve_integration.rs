@@ -604,6 +604,124 @@ fn every_assessment_gets_a_run_id_and_a_ledger_record() {
     let _ = std::fs::remove_dir_all(&corpus);
 }
 
+#[test]
+fn flight_recorder_serves_the_access_log_and_trace() {
+    let _g = serve_lock();
+    let corpus = corpus_dir("telemetry");
+    let server = start_server(ServeConfig::default());
+    let addr = server.addr();
+
+    // Traffic mix: two assessments over one keep-alive connection (the
+    // second row must show reuse > 0), plus a 404 and a healthz.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let wire = http::encode_request("POST", "/assess", &[], assess_body(&corpus, "").as_bytes());
+    let first = round_trip(&mut stream, &wire);
+    let second = round_trip(&mut stream, &wire);
+    assert_eq!((first.status, second.status), (200, 200));
+    let run_id = second.header("x-adsafe-run-id").expect("run ID header").to_string();
+    drop(stream);
+    assert_eq!(request(addr, "GET", "/nope", "").status, 404);
+    assert_eq!(request(addr, "GET", "/healthz", "").status, 200);
+
+    // /requests: JSONL, every row parses, schema fields present.
+    let log = request(addr, "GET", "/requests", "");
+    assert_eq!(log.status, 200);
+    assert_eq!(log.header("content-type"), Some("application/x-ndjson"));
+    let rows: Vec<adsafe::trace::json::Json> = log
+        .body_text()
+        .lines()
+        .map(|l| adsafe::trace::json::Json::parse(l).expect("every access-log row parses"))
+        .collect();
+    assert!(rows.len() >= 4, "assess x2 + 404 + healthz: {} rows", rows.len());
+    let field = |row: &adsafe::trace::json::Json, k: &str| {
+        row.get(k).and_then(|v| v.as_f64()).unwrap_or_else(|| panic!("row field {k}"))
+    };
+    let mut prev_seq = 0.0;
+    for row in &rows {
+        let seq = field(row, "seq");
+        assert!(seq > prev_seq, "seq strictly increases oldest-first");
+        prev_seq = seq;
+        assert!(field(row, "total_us") >= 0.0);
+        row.get("endpoint").and_then(|v| v.as_str()).expect("endpoint field");
+    }
+    // The keep-alive assess row carries its reuse index and run ID —
+    // and that run ID resolves in the ledger (`adsafe history` parity).
+    let reused = rows
+        .iter()
+        .find(|r| {
+            r.get("run").and_then(|v| v.as_str()) == Some(run_id.as_str())
+                && field(r, "reuse") > 0.0
+        })
+        .expect("second keep-alive assess row records reuse > 0");
+    assert_eq!(field(reused, "status") as u16, 200);
+    let resolved = request(addr, "GET", &format!("/runs/{run_id}"), "");
+    assert_eq!(resolved.status, 200, "/requests run IDs resolve in the run ledger");
+    // Assess rows break the pipeline phases out; parse/render among them.
+    let phases: Vec<String> = reused
+        .get("phases")
+        .and_then(|p| p.as_arr())
+        .expect("phases array")
+        .iter()
+        .filter_map(|p| p.get("name").and_then(|n| n.as_str()).map(str::to_string))
+        .collect();
+    for want in ["parse", "render", "write"] {
+        assert!(phases.iter().any(|p| p == want), "phase {want} in {phases:?}");
+    }
+
+    // Filters: by status, by endpoint, last-N; bad values answer 400.
+    let only_404 = request(addr, "GET", "/requests?status=404", "");
+    assert!(!only_404.body_text().is_empty());
+    for line in only_404.body_text().lines() {
+        let row = adsafe::trace::json::Json::parse(line).unwrap();
+        assert_eq!(field(&row, "status") as u16, 404, "{line}");
+    }
+    let only_assess = request(addr, "GET", "/requests?endpoint=assess", "");
+    assert!(only_assess.body_text().lines().count() >= 2);
+    let last_one = request(addr, "GET", "/requests?last=1", "");
+    assert_eq!(last_one.body_text().lines().count(), 1);
+    assert_eq!(request(addr, "GET", "/requests?status=banana", "").status, 400);
+    assert_eq!(request(addr, "GET", "/requests?last=x", "").status, 400);
+
+    // /trace/recent: the same ring as Chrome trace-event JSON, valid
+    // per the validator the CLI's --trace-out path uses.
+    let trace = request(addr, "GET", "/trace/recent", "");
+    assert_eq!(trace.status, 200);
+    adsafe::trace::chrome::validate(&trace.body_text()).expect("Chrome trace validates");
+    assert!(trace.body_text().contains("\"POST /assess\""), "parent events name the request");
+
+    // Per-endpoint SLO histograms: labeled series in both formats.
+    let metrics = request(addr, "GET", "/metrics", "").body_text();
+    let slo = metrics
+        .lines()
+        .find(|l| l.starts_with("hist serve.latency{endpoint=\"assess\",status=\"200\"} count "))
+        .expect("labeled assess latency histogram");
+    assert!(slo.contains(" p999 "), "text format reports p999: {slo}");
+    assert!(
+        metrics.lines().any(|l| l.starts_with("hist pool.queue_wait count ")
+            && !l.starts_with("hist pool.queue_wait count 0 ")),
+        "queue-wait histogram is populated: {metrics}"
+    );
+    let prom = request(addr, "GET", "/metrics?format=prometheus", "").body_text();
+    assert!(
+        prom.contains("adsafe_serve_latency_bucket{endpoint=\"assess\",status=\"200\",le="),
+        "{prom}"
+    );
+    assert!(prom.contains("adsafe_serve_status{code=\"200\"}"), "{prom}");
+
+    // /healthz reports the ring's fill level.
+    let health = request(addr, "GET", "/healthz", "").body_text();
+    assert!(health.contains("\"recorder_len\":"), "{health}");
+    assert!(health.contains("\"recorder_cap\":256"), "{health}");
+
+    // Wrong methods on the telemetry endpoints are 405, not 404.
+    assert_eq!(request(addr, "POST", "/requests", "").status, 405);
+    assert_eq!(request(addr, "POST", "/trace/recent", "").status, 405);
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&corpus);
+}
+
 // ---------------------------------------------------------------------
 // HTTP codec properties: the parser must accept everything the encoder
 // produces and never panic on anything else.
