@@ -132,6 +132,15 @@ pub enum FaultCause {
         /// Why the line was rejected.
         detail: String,
     },
+    /// A rule-pack declaration failed to load (parse error, type
+    /// error, or id collision) and was skipped; the remaining rules in
+    /// the pack still run, and no native evidence is affected.
+    RulePackInvalid {
+        /// 1-based line in the pack file (0 when not line-anchored).
+        line: u32,
+        /// Why the declaration was rejected.
+        detail: String,
+    },
     /// The resident facts store crossed its byte budget and evicted
     /// least-recently-used entries. No evidence is lost — evicted files
     /// re-analyse from source (or promote back from disk) on their next
@@ -173,6 +182,13 @@ impl fmt::Display for FaultCause {
             FaultCause::Injected(name) => write!(f, "injected fault at `{name}`"),
             FaultCause::LedgerTorn { detail } => {
                 write!(f, "torn ledger line skipped ({detail})")
+            }
+            FaultCause::RulePackInvalid { line, detail } => {
+                if *line == 0 {
+                    write!(f, "rule pack invalid: {detail}")
+                } else {
+                    write!(f, "rule pack invalid at line {line}: {detail}")
+                }
             }
             FaultCause::StoreEvicted { entries, bytes } => {
                 write!(f, "facts store evicted {entries} entr(ies) ({bytes} bytes) at its byte budget")

@@ -39,6 +39,7 @@ pub mod experiments;
 pub mod facts;
 pub mod fault;
 pub mod pipeline;
+pub mod query;
 pub mod render;
 pub mod store;
 
@@ -60,6 +61,8 @@ pub use adsafe_lang as lang;
 pub use adsafe_metrics as metrics;
 /// Re-export: rule engine.
 pub use adsafe_checkers as checkers;
+/// Re-export: typed rule-query language and VM.
+pub use adsafe_query as rulequery;
 /// Re-export: standard model & compliance engine.
 pub use adsafe_iso26262 as iso26262;
 /// Re-export: structural coverage.

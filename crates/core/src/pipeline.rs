@@ -141,6 +141,11 @@ pub struct AssessmentOptions {
     /// every fault record, and the report. Empty (the default) means
     /// the run has no ledger identity; nothing references it.
     pub run_id: String,
+    /// Query rules to evaluate alongside the native set. `None` (the
+    /// default) skips the query pass entirely. Query diagnostics join
+    /// the report but never the facts cache, and never feed compliance
+    /// evidence (which counts native ids only).
+    pub rules: Option<std::sync::Arc<adsafe_query::RulePack>>,
 }
 
 impl Default for AssessmentOptions {
@@ -154,6 +159,7 @@ impl Default for AssessmentOptions {
             cache_dir: None,
             store: None,
             run_id: String::new(),
+            rules: None,
         }
     }
 }
@@ -428,6 +434,11 @@ impl Assessment {
         // isolation. Rule gates (failpoints, deadline) run on the
         // caller thread first so a gated rule is skipped wholesale.
         let phase_span = adsafe_trace::span("phase.checks", "phase");
+        // Native/query sub-phases are *always* emitted, pack or no
+        // pack: the report's phase set must not depend on options, or
+        // `adsafe trace-compare` would flag a missing phase instead of
+        // a regression.
+        let native_span = adsafe_trace::span("phase.checks.native", "phase");
         let graph = facts::call_graph(&records);
         let globals = facts::global_names(&records);
         let checks = default_checks();
@@ -605,6 +616,114 @@ impl Assessment {
                 );
             }
         }
+        drop(native_span);
+
+        // Query rules, evaluated from facts — fresh and cached files
+        // alike, no reparse. File-scope rules shard (rule × file) over
+        // the pool exactly like native rules; program-scope rules (the
+        // ones touching `recursive`) run once on the caller thread over
+        // all records. Query diagnostics join the report but never the
+        // cache write-back buckets and never compliance evidence.
+        let query_span = adsafe_trace::span("phase.checks.query", "phase");
+        if let Some(pack) = self.options.rules.as_deref().filter(|p| !p.rules.is_empty()) {
+            let file_rules: Vec<&adsafe_query::CompiledRule> = pack
+                .rules
+                .iter()
+                .filter(|r| r.scope == CheckScope::File)
+                .collect();
+            let qtasks: Vec<(usize, usize)> = file_rules
+                .iter()
+                .enumerate()
+                .flat_map(|(qi, _)| (0..loaded.len()).map(move |li| (qi, li)))
+                .collect();
+            let qresults = pool.map(qtasks.clone(), |_, (qi, li)| {
+                let rule = file_rules[qi];
+                let l = &loaded[li];
+                let _sp = adsafe_trace::span(format!("check.{}", rule.id), "checks");
+                let t0 = adsafe_trace::now_us();
+                let rows = crate::query::rows_from_facts(
+                    rule.selector,
+                    l.id,
+                    &self.files[l.file_idx].module,
+                    &l.facts,
+                    &[],
+                );
+                let (diags, steps) = rule.eval_rows(&rows);
+                adsafe_trace::counter("query.vm.steps").add(steps);
+                adsafe_trace::histogram(&adsafe_trace::labeled(
+                    "checks.query",
+                    &[("rule", rule.id)],
+                ))
+                .record(adsafe_trace::now_us().saturating_sub(t0));
+                diags
+            });
+            let mut per_rule: HashMap<&'static str, u64> = HashMap::new();
+            for (&(qi, li), res) in qtasks.iter().zip(&qresults) {
+                match res {
+                    Ok(diags) => {
+                        *per_rule.entry(file_rules[qi].id).or_default() += diags.len() as u64;
+                        diagnostics.extend(diags.iter().cloned());
+                    }
+                    Err(payload) => log.push(Fault {
+                        phase: FaultPhase::Checks,
+                        path: format!(
+                            "{} on {}",
+                            file_rules[qi].id, self.files[loaded[li].file_idx].path
+                        ),
+                        severity: FaultSeverity::Degraded,
+                        cause: classify_panic(&panic_message(&**payload)),
+                        recovery: Recovery::SkippedItem,
+                        run_id: String::new(),
+                    }),
+                }
+            }
+            for rule in pack.rules.iter().filter(|r| r.scope == CheckScope::Program) {
+                let _sp = adsafe_trace::span(format!("check.{}", rule.id), "checks");
+                let t0 = adsafe_trace::now_us();
+                let recursive = graph.recursive_functions();
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    let mut diags = Vec::new();
+                    let mut steps = 0u64;
+                    for l in &loaded {
+                        let rows = crate::query::rows_from_facts(
+                            rule.selector,
+                            l.id,
+                            &self.files[l.file_idx].module,
+                            &l.facts,
+                            &recursive,
+                        );
+                        let (d, s) = rule.eval_rows(&rows);
+                        diags.extend(d);
+                        steps += s;
+                    }
+                    (diags, steps)
+                }));
+                match result {
+                    Ok((diags, steps)) => {
+                        adsafe_trace::counter("query.vm.steps").add(steps);
+                        *per_rule.entry(rule.id).or_default() += diags.len() as u64;
+                        diagnostics.extend(diags);
+                    }
+                    Err(payload) => log.push(Fault {
+                        phase: FaultPhase::Checks,
+                        path: rule.id.to_string(),
+                        severity: FaultSeverity::Degraded,
+                        cause: classify_panic(&panic_message(&*payload)),
+                        recovery: Recovery::SkippedItem,
+                        run_id: String::new(),
+                    }),
+                }
+                adsafe_trace::histogram(&adsafe_trace::labeled(
+                    "checks.query",
+                    &[("rule", rule.id)],
+                ))
+                .record(adsafe_trace::now_us().saturating_sub(t0));
+            }
+            for (id, n) in per_rule {
+                adsafe_trace::counter(&format!("checks.rule.{id}.diags")).add(n);
+            }
+        }
+        drop(query_span);
 
         // One canonical order for the *complete* list — shards, macro
         // findings, program-scoped rules, and cached replays — so

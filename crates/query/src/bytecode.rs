@@ -1,0 +1,169 @@
+//! Compact register-style bytecode for compiled queries.
+//!
+//! The IR is deliberately tiny: load a row field or constant into a
+//! register, compare, negate, move, and *forward-only* conditional
+//! jumps for `and`/`or` short-circuiting. Forward-only jump targets
+//! make every program terminate in at most `ops.len()` steps — the VM
+//! needs no fuel check, and the step counter it reports is an exact
+//! cost measure.
+
+use crate::ast::CmpOp;
+use std::fmt;
+
+/// One VM instruction. Registers are `u8` (a query deeper than 255
+/// live temporaries is rejected at compile time), field and string
+/// indices `u16`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// `dst <- row[field]`
+    Field {
+        /// Destination register.
+        dst: u8,
+        /// Row value index (schema order).
+        idx: u16,
+    },
+    /// `dst <- v`
+    ConstInt {
+        /// Destination register.
+        dst: u8,
+        /// Immediate.
+        v: i64,
+    },
+    /// `dst <- strs[idx]`
+    ConstStr {
+        /// Destination register.
+        dst: u8,
+        /// String-pool index.
+        idx: u16,
+    },
+    /// `dst <- v`
+    ConstBool {
+        /// Destination register.
+        dst: u8,
+        /// Immediate.
+        v: bool,
+    },
+    /// `dst <- a OP b`
+    Cmp {
+        /// Comparison operator.
+        op: CmpOp,
+        /// Destination register.
+        dst: u8,
+        /// Left operand register.
+        a: u8,
+        /// Right operand register.
+        b: u8,
+    },
+    /// `dst <- !src`
+    Not {
+        /// Destination register.
+        dst: u8,
+        /// Source register.
+        src: u8,
+    },
+    /// `dst <- src`
+    Mov {
+        /// Destination register.
+        dst: u8,
+        /// Source register.
+        src: u8,
+    },
+    /// `if !cond goto to` (forward only)
+    JumpIfFalse {
+        /// Condition register.
+        cond: u8,
+        /// Target instruction index; always > the jump's own index.
+        to: u16,
+    },
+    /// `if cond goto to` (forward only)
+    JumpIfTrue {
+        /// Condition register.
+        cond: u8,
+        /// Target instruction index; always > the jump's own index.
+        to: u16,
+    },
+    /// Finish with the boolean in `src`.
+    Ret {
+        /// Result register.
+        src: u8,
+    },
+}
+
+/// A compiled predicate: instructions plus the string constant pool.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Instruction stream; the last reachable instruction is a `Ret`.
+    pub ops: Vec<Op>,
+    /// String constants referenced by `ConstStr`.
+    pub strs: Vec<String>,
+    /// Number of registers the VM must allocate.
+    pub regs: u8,
+}
+
+impl fmt::Display for Program {
+    /// Disassembly, one instruction per line (`adsafe rules explain`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, op) in self.ops.iter().enumerate() {
+            write!(f, "{i:3}  ")?;
+            match op {
+                Op::Field { dst, idx } => writeln!(f, "field   r{dst} <- [{idx}]"),
+                Op::ConstInt { dst, v } => writeln!(f, "int     r{dst} <- {v}"),
+                Op::ConstStr { dst, idx } => {
+                    writeln!(f, "str     r{dst} <- {:?}", self.strs[*idx as usize])
+                }
+                Op::ConstBool { dst, v } => writeln!(f, "bool    r{dst} <- {v}"),
+                Op::Cmp { op, dst, a, b } => {
+                    writeln!(f, "cmp     r{dst} <- r{a} {} r{b}", op.symbol())
+                }
+                Op::Not { dst, src } => writeln!(f, "not     r{dst} <- !r{src}"),
+                Op::Mov { dst, src } => writeln!(f, "mov     r{dst} <- r{src}"),
+                Op::JumpIfFalse { cond, to } => writeln!(f, "jfalse  r{cond} -> {to}"),
+                Op::JumpIfTrue { cond, to } => writeln!(f, "jtrue   r{cond} -> {to}"),
+                Op::Ret { src } => writeln!(f, "ret     r{src}"),
+            }?;
+        }
+        Ok(())
+    }
+}
+
+impl Program {
+    /// Structural sanity: jump targets are forward and in bounds,
+    /// register and string indices resolve. The compiler upholds this
+    /// by construction; packs are rejected if it ever fails.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, op) in self.ops.iter().enumerate() {
+            let regs = |rs: &[u8]| -> Result<(), String> {
+                for &r in rs {
+                    if r >= self.regs {
+                        return Err(format!("op {i}: register r{r} out of range"));
+                    }
+                }
+                Ok(())
+            };
+            match op {
+                Op::Field { dst, .. } | Op::ConstInt { dst, .. } | Op::ConstBool { dst, .. } => {
+                    regs(&[*dst])?
+                }
+                Op::ConstStr { dst, idx } => {
+                    regs(&[*dst])?;
+                    if *idx as usize >= self.strs.len() {
+                        return Err(format!("op {i}: string index {idx} out of range"));
+                    }
+                }
+                Op::Cmp { dst, a, b, .. } => regs(&[*dst, *a, *b])?,
+                Op::Not { dst, src } | Op::Mov { dst, src } => regs(&[*dst, *src])?,
+                Op::JumpIfFalse { cond, to } | Op::JumpIfTrue { cond, to } => {
+                    regs(&[*cond])?;
+                    if *to as usize <= i || *to as usize > self.ops.len() {
+                        return Err(format!("op {i}: jump target {to} is not forward"));
+                    }
+                }
+                Op::Ret { src } => regs(&[*src])?,
+            }
+        }
+        match self.ops.last() {
+            Some(Op::Ret { .. }) => Ok(()),
+            _ => Err("program does not end in ret".to_string()),
+        }
+    }
+}

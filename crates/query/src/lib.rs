@@ -1,0 +1,53 @@
+//! adsafe-query: a typed rule-query language compiled to a bytecode VM
+//! over adsafe facts.
+//!
+//! Assessment teams extend the rule set without writing Rust: a pack of
+//! `.aq` declarations like
+//!
+//! ```text
+//! rule "perception-hot-functions" {
+//!   iso t1r1
+//!   function where cc > 10 and returns > 1 in module "perception"
+//!     -> warn "function `{name}` has cc {cc} with {returns} exits"
+//! }
+//! ```
+//!
+//! is lexed ([`lexer`]), parsed resiliently ([`parser`] — one malformed
+//! rule never takes down its neighbours), typechecked against the facts
+//! schema ([`schema`], [`typeck`]), and lowered ([`compile`]) to a
+//! compact forward-jump register bytecode ([`bytecode`]) evaluated by a
+//! defensive VM ([`vm`]) over per-file fact rows ([`rows`]). File-scope
+//! queries shard across the worker pool exactly like native rules;
+//! queries touching program-scope facts (`recursive`) lower to a
+//! whole-program pass. [`rule::QueryRule`] adapts a compiled rule to
+//! the native `Check` trait, and [`rule::RulePack`] loads packs with
+//! per-rule fault containment.
+//!
+//! Determinism contract: compilation is pure, evaluation is pure over
+//! the row set, rows derive from facts in file order — so query
+//! diagnostics are byte-stable across worker counts and cache states,
+//! and the bundled pack ([`rule::RulePack::builtin`]) is CI-gated to
+//! stay byte-identical with the native rules it mirrors.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod bytecode;
+pub mod compile;
+pub mod lexer;
+pub mod parser;
+pub mod rows;
+pub mod rule;
+pub mod schema;
+pub mod typeck;
+pub mod vm;
+
+pub use ast::{RuleDecl, Selector, SeverityKw};
+pub use bytecode::Program;
+pub use parser::{parse_pack, ParseError};
+pub use rows::{rows_from_context, FileRow, FunctionRow, GlobalRow};
+pub use rule::{intern_static, CompiledRule, PackFault, QueryRule, RulePack, BUILTIN_PACK};
+pub use vm::{Row, Value};
+
+/// Pretty-prints a pack of rule declarations in canonical form.
+pub use ast::pretty_pack;

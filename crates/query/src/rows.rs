@@ -1,0 +1,363 @@
+//! Row builders: the single place that maps facts onto the schema's
+//! positional layout.
+//!
+//! Two embedders feed the VM. The parallel pipeline in `adsafe-core`
+//! builds rows from cached-or-fresh `FileFacts` records (so query rules
+//! cover cached files without reparsing), and [`rows_from_context`]
+//! builds the *same* rows from a live [`CheckContext`] for the
+//! standalone `Check`-trait path (`adsafe rules check`, tests). Both go
+//! through the named-field structs below — field order is fixed by
+//! `into_row`, so the two paths cannot drift on layout, and a parity
+//! test pins that they cannot drift on values either.
+
+use crate::ast::Selector;
+use crate::schema::{self, Ty};
+use crate::vm::{Row, Value};
+use adsafe_checkers::{Check as _, CheckContext};
+use adsafe_lang::ast::Storage;
+use adsafe_lang::Span;
+
+/// One `function` row, by name. See [`crate::schema::FUNCTION_FIELDS`].
+#[derive(Debug, Clone)]
+pub struct FunctionRow<'a> {
+    /// Unqualified name.
+    pub name: &'a str,
+    /// Qualified name.
+    pub qualified: &'a str,
+    /// Owning module.
+    pub module: &'a str,
+    /// Cyclomatic complexity.
+    pub cc: u32,
+    /// Non-blank lines.
+    pub nloc: usize,
+    /// Parameter count.
+    pub params: usize,
+    /// Max nesting depth.
+    pub nesting: usize,
+    /// `return` count.
+    pub returns: usize,
+    /// Multiple/early exits.
+    pub multi_exit: bool,
+    /// `goto` count.
+    pub gotos: usize,
+    /// Statement count.
+    pub stmts: usize,
+    /// Any CUDA qualifier.
+    pub is_gpu: bool,
+    /// `__global__` kernel.
+    pub is_kernel: bool,
+    /// Pointer-like parameters.
+    pub ptr_params: usize,
+    /// Device allocation calls.
+    pub alloc_calls: usize,
+    /// Possibly-uninitialised reads.
+    pub uninit_reads: usize,
+    /// Shadowing declarations.
+    pub shadowed: usize,
+    /// Pointer operations.
+    pub pointer_uses: usize,
+    /// Dynamic (de)allocation sites.
+    pub alloc_sites: usize,
+    /// Opaque statements.
+    pub opaque_stmts: usize,
+    /// Has at least one named parameter.
+    pub has_named_params: bool,
+    /// Validates a named parameter.
+    pub validates: bool,
+    /// Participates in a call-graph cycle.
+    pub recursive: bool,
+    /// Signature span (diagnostic anchor).
+    pub span: Span,
+}
+
+impl FunctionRow<'_> {
+    /// Lays the fields out in schema order.
+    pub fn into_row(self) -> Row {
+        let function = Some(self.qualified.to_string());
+        Row {
+            vals: vec![
+                Value::Str(self.name.to_string()),
+                Value::Str(self.qualified.to_string()),
+                Value::Str(self.module.to_string()),
+                Value::Int(i64::from(self.cc)),
+                Value::Int(self.nloc as i64),
+                Value::Int(self.params as i64),
+                Value::Int(self.nesting as i64),
+                Value::Int(self.returns as i64),
+                Value::Bool(self.multi_exit),
+                Value::Int(self.gotos as i64),
+                Value::Int(self.stmts as i64),
+                Value::Bool(self.is_gpu),
+                Value::Bool(self.is_kernel),
+                Value::Int(self.ptr_params as i64),
+                Value::Int(self.alloc_calls as i64),
+                Value::Int(self.uninit_reads as i64),
+                Value::Int(self.shadowed as i64),
+                Value::Int(self.pointer_uses as i64),
+                Value::Int(self.alloc_sites as i64),
+                Value::Int(self.opaque_stmts as i64),
+                Value::Bool(self.has_named_params),
+                Value::Bool(self.validates),
+                Value::Bool(self.recursive),
+            ],
+            span: self.span,
+            function,
+        }
+    }
+}
+
+/// One `global` row. See [`crate::schema::GLOBAL_FIELDS`].
+#[derive(Debug, Clone)]
+pub struct GlobalRow<'a> {
+    /// Variable name.
+    pub name: &'a str,
+    /// Owning module.
+    pub module: &'a str,
+    /// Declared `const`.
+    pub is_const: bool,
+    /// Declared `extern`.
+    pub is_extern: bool,
+    /// Diagnostic anchor (file start: facts do not keep global spans).
+    pub span: Span,
+}
+
+impl GlobalRow<'_> {
+    /// Lays the fields out in schema order.
+    pub fn into_row(self) -> Row {
+        Row {
+            vals: vec![
+                Value::Str(self.name.to_string()),
+                Value::Str(self.module.to_string()),
+                Value::Bool(self.is_const),
+                Value::Bool(self.is_extern),
+            ],
+            span: self.span,
+            function: None,
+        }
+    }
+}
+
+/// One `file` row. See [`crate::schema::FILE_FIELDS`].
+#[derive(Debug, Clone)]
+pub struct FileRow<'a> {
+    /// Owning module.
+    pub module: &'a str,
+    /// Physical lines.
+    pub physical: usize,
+    /// Code lines.
+    pub nloc: usize,
+    /// Comment lines.
+    pub comment: usize,
+    /// Blank lines.
+    pub blank: usize,
+    /// Preprocessor directive lines.
+    pub directive: usize,
+    /// Parser resync regions.
+    pub recovery: usize,
+    /// Implicit narrowing conversions.
+    pub implicit_conversions: usize,
+    /// Function definitions.
+    pub functions: usize,
+    /// File-scope variables.
+    pub globals: usize,
+    /// Diagnostic anchor (file start).
+    pub span: Span,
+}
+
+impl FileRow<'_> {
+    /// Lays the fields out in schema order.
+    pub fn into_row(self) -> Row {
+        Row {
+            vals: vec![
+                Value::Str(self.module.to_string()),
+                Value::Int(self.physical as i64),
+                Value::Int(self.nloc as i64),
+                Value::Int(self.comment as i64),
+                Value::Int(self.blank as i64),
+                Value::Int(self.directive as i64),
+                Value::Int(self.recovery as i64),
+                Value::Int(self.implicit_conversions as i64),
+                Value::Int(self.functions as i64),
+                Value::Int(self.globals as i64),
+            ],
+            span: self.span,
+            function: None,
+        }
+    }
+}
+
+/// Builds rows for `selector` from a live [`CheckContext`] — the AST
+/// path. Mirrors `extract_facts` in `adsafe-core` helper-for-helper so
+/// it agrees with the facts path on every value.
+pub fn rows_from_context(selector: Selector, cx: &CheckContext<'_>) -> Vec<Row> {
+    match selector {
+        Selector::Function => {
+            let recursive = cx.graph.recursive_functions();
+            cx.functions()
+                .map(|(e, f)| {
+                    let m = adsafe_metrics::function_metrics(e.file, f);
+                    let unit = adsafe_checkers::unit_design::function_unit_facts(f);
+                    let val = adsafe_checkers::defensive::validation_facts(f);
+                    FunctionRow {
+                        name: &m.name,
+                        qualified: &m.qualified_name,
+                        module: e.module,
+                        cc: m.cyclomatic,
+                        nloc: m.nloc,
+                        params: m.param_count,
+                        nesting: m.max_nesting,
+                        returns: m.return_count,
+                        multi_exit: m.multi_exit,
+                        gotos: m.goto_count,
+                        stmts: m.stmt_count,
+                        is_gpu: m.is_gpu,
+                        is_kernel: f.sig.quals.cuda_global,
+                        ptr_params: f
+                            .sig
+                            .params
+                            .iter()
+                            .filter(|p| p.ty.is_pointer_like())
+                            .count(),
+                        alloc_calls: adsafe_lang::cuda::profile_function(f).alloc_calls(),
+                        uninit_reads: unit.maybe_uninit_reads,
+                        shadowed: unit.shadowed_declarations,
+                        pointer_uses: unit.pointer_uses,
+                        alloc_sites: unit.dynamic_alloc_sites,
+                        opaque_stmts: unit.opaque_stmts,
+                        has_named_params: val.has_named_params,
+                        validates: val.validates,
+                        recursive: recursive.contains(&m.qualified_name),
+                        span: f.sig.span,
+                    }
+                    .into_row()
+                })
+                .collect()
+        }
+        Selector::Global => cx
+            .entries
+            .iter()
+            .flat_map(|e| {
+                e.unit.global_vars().into_iter().map(|g| {
+                    GlobalRow {
+                        name: &g.name,
+                        module: e.module,
+                        is_const: g.ty.is_const,
+                        is_extern: g.storage == Storage::Extern,
+                        span: Span::new(e.file.id(), 0, 0),
+                    }
+                    .into_row()
+                })
+            })
+            .collect(),
+        Selector::File => cx
+            .entries
+            .iter()
+            .map(|e| {
+                let loc = adsafe_metrics::count_file(e.file);
+                let implicit = adsafe_checkers::typing::ImplicitConversionCheck
+                    .run(&CheckContext::file_local(
+                        cx.sm,
+                        adsafe_checkers::FileEntry { file: e.file, unit: e.unit, module: "" },
+                    ))
+                    .len();
+                FileRow {
+                    module: e.module,
+                    physical: loc.physical,
+                    nloc: loc.nloc,
+                    comment: loc.comment,
+                    blank: loc.blank,
+                    directive: loc.directive,
+                    recovery: e.unit.recovery_count,
+                    implicit_conversions: implicit,
+                    functions: e.unit.functions().len(),
+                    globals: e.unit.global_vars().len(),
+                    span: Span::new(e.file.id(), 0, 0),
+                }
+                .into_row()
+            })
+            .collect(),
+    }
+}
+
+/// Pins row layout against the schema tables: every builder emits
+/// exactly the declared fields, in order, with the declared types.
+pub fn layout_matches_schema(selector: Selector, row: &Row) -> Result<(), String> {
+    let fields = schema::fields(selector);
+    if row.vals.len() != fields.len() {
+        return Err(format!(
+            "{} row has {} values, schema declares {}",
+            selector.keyword(),
+            row.vals.len(),
+            fields.len()
+        ));
+    }
+    for (i, ((name, ty), val)) in fields.iter().zip(&row.vals).enumerate() {
+        let actual = match val {
+            Value::Int(_) => Ty::Int,
+            Value::Bool(_) => Ty::Bool,
+            Value::Str(_) => Ty::Str,
+        };
+        if actual != *ty {
+            return Err(format!("field {i} `{name}`: schema says {ty}, row holds {actual}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adsafe_checkers::AnalysisSet;
+
+    const SRC: &str = "\
+const int kLimit = 10;\n\
+int shared_state;\n\
+__global__ void kern(float* p) { p[0] = 1.0f; }\n\
+int twice(int x) { if (x > 0) { return 2 * x; } return 0; }\n";
+
+    #[test]
+    fn every_selector_matches_its_schema_layout() {
+        let mut set = AnalysisSet::new();
+        set.add("demo", "demo.cu", SRC);
+        let cx = set.context();
+        for sel in [Selector::Function, Selector::Global, Selector::File] {
+            let rows = rows_from_context(sel, &cx);
+            assert!(!rows.is_empty(), "{sel:?}");
+            for row in &rows {
+                layout_matches_schema(sel, row).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn function_rows_carry_metrics_and_anchors() {
+        let mut set = AnalysisSet::new();
+        set.add("demo", "demo.cu", SRC);
+        let cx = set.context();
+        let rows = rows_from_context(Selector::Function, &cx);
+        let twice = rows
+            .iter()
+            .find(|r| r.vals[0] == Value::Str("twice".into()))
+            .expect("twice present");
+        assert_eq!(twice.vals[7], Value::Int(2), "two returns");
+        assert_eq!(twice.vals[8], Value::Bool(true), "multi-exit");
+        assert!(twice.function.is_some());
+        let kern = rows
+            .iter()
+            .find(|r| r.vals[0] == Value::Str("kern".into()))
+            .expect("kernel present");
+        assert_eq!(kern.vals[12], Value::Bool(true), "is_kernel");
+    }
+
+    #[test]
+    fn global_rows_see_constness() {
+        let mut set = AnalysisSet::new();
+        set.add("demo", "demo.cu", SRC);
+        let cx = set.context();
+        let rows = rows_from_context(Selector::Global, &cx);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].vals[0], Value::Str("kLimit".into()));
+        assert_eq!(rows[0].vals[2], Value::Bool(true));
+        assert_eq!(rows[1].vals[2], Value::Bool(false));
+    }
+}

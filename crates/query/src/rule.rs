@@ -1,0 +1,342 @@
+//! Compiled rules, rule packs, and the [`Check`]-trait adapter.
+//!
+//! A [`CompiledRule`] is a fully lowered query: interned `'static` id
+//! (the `Check` trait and `Diagnostic` both demand `&'static str`
+//! check ids), severity, ISO refs, bytecode predicate, and message
+//! template. [`RulePack::from_sources`] turns `.aq` source files into
+//! rules with *containment* semantics: every malformed rule, type
+//! error, or duplicate id becomes a [`PackFault`] naming file and
+//! line, and loading proceeds with the remaining rules — a bad pack
+//! degrades to a smaller pack, never to a failed run.
+
+use crate::ast::{RuleDecl, Selector, SeverityKw};
+use crate::bytecode::Program;
+use crate::compile::compile_predicate;
+use crate::parser::parse_pack;
+use crate::rows::rows_from_context;
+use crate::typeck::{self, TemplatePart};
+use crate::vm::{self, Row};
+use adsafe_checkers::{Check, CheckContext, CheckScope, Diagnostic, Severity};
+use std::collections::HashSet;
+use std::sync::{Mutex, OnceLock};
+
+/// Interns a string into the process-lifetime pool, so query rules can
+/// satisfy the `&'static str` ids the `Check` trait requires. The pool
+/// deduplicates, so repeated pack loads (e.g. one per daemon request)
+/// leak each distinct id/description at most once.
+pub fn intern_static(s: &str) -> &'static str {
+    static POOL: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let mut pool = POOL.get_or_init(|| Mutex::new(HashSet::new())).lock().unwrap();
+    if let Some(&existing) = pool.get(s) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    pool.insert(leaked);
+    leaked
+}
+
+fn intern_refs(refs: &[String]) -> &'static [&'static str] {
+    // The slice itself is leaked per call; bounded by pack-load count ×
+    // rules per pack, and deduplicated loads dominate in practice.
+    let v: Vec<&'static str> = refs.iter().map(|r| intern_static(r)).collect();
+    Box::leak(v.into_boxed_slice())
+}
+
+/// A fully compiled query rule.
+#[derive(Debug, Clone)]
+pub struct CompiledRule {
+    /// Diagnostic check id.
+    pub id: &'static str,
+    /// One-line description (`desc` clause, or a default).
+    pub desc: &'static str,
+    /// ISO 26262-6 table rows evidenced.
+    pub iso: &'static [&'static str],
+    /// Row selector.
+    pub selector: Selector,
+    /// File or whole-program evaluation.
+    pub scope: CheckScope,
+    /// Diagnostic severity.
+    pub severity: Severity,
+    /// Compiled predicate.
+    pub program: Program,
+    /// Message template.
+    pub template: Vec<TemplatePart>,
+    /// The declaration (kept for `rules explain` pretty-printing).
+    pub decl: RuleDecl,
+}
+
+impl CompiledRule {
+    /// Compiles one typechecked declaration.
+    pub fn compile(decl: &RuleDecl) -> Result<CompiledRule, String> {
+        let checked = typeck::check(decl)?;
+        let program = compile_predicate(decl)?;
+        let severity = match decl.severity {
+            SeverityKw::Info => Severity::Info,
+            SeverityKw::Warn => Severity::Warning,
+            SeverityKw::Violation => Severity::Violation,
+        };
+        let scope =
+            if checked.program_scope { CheckScope::Program } else { CheckScope::File };
+        let desc = match &decl.desc {
+            Some(d) => intern_static(d),
+            None => intern_static(&format!("query rule `{}`", decl.id)),
+        };
+        Ok(CompiledRule {
+            id: intern_static(&decl.id),
+            desc,
+            iso: intern_refs(&decl.iso),
+            selector: decl.selector,
+            scope,
+            severity,
+            program,
+            template: checked.template,
+            decl: decl.clone(),
+        })
+    }
+
+    /// Evaluates the rule over `rows`, returning matching diagnostics
+    /// (row order) and the number of VM instructions executed.
+    pub fn eval_rows(&self, rows: &[Row]) -> (Vec<Diagnostic>, u64) {
+        let mut steps = 0u64;
+        let mut out = Vec::new();
+        for row in rows {
+            if vm::eval(&self.program, row, &mut steps) {
+                let msg = vm::render_template(&self.template, row);
+                let mut d = Diagnostic::new(self.id, self.severity, row.span, msg);
+                if let Some(f) = &row.function {
+                    d = d.in_function(f);
+                }
+                out.push(d);
+            }
+        }
+        (out, steps)
+    }
+}
+
+/// One contained pack-loading failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackFault {
+    /// Pack file the fault names (label passed to `from_sources`).
+    pub file: String,
+    /// 1-based line, or 0 when the fault is not line-anchored.
+    pub line: u32,
+    /// What went wrong.
+    pub detail: String,
+}
+
+/// A loaded rule pack: the rules that survived, plus every fault.
+#[derive(Debug, Clone, Default)]
+pub struct RulePack {
+    /// Compiled rules, in pack-file then declaration order.
+    pub rules: Vec<CompiledRule>,
+    /// Contained loading faults.
+    pub faults: Vec<PackFault>,
+}
+
+impl RulePack {
+    /// A pack with no rules and no faults.
+    pub fn empty() -> Self {
+        RulePack::default()
+    }
+
+    /// Loads rules from `(label, source)` pairs in order. `reserved`
+    /// ids (the native rule set) and ids already claimed by an earlier
+    /// rule are rejected per rule, with a fault, so a pack can never
+    /// shadow a native rule or double-count a query rule.
+    pub fn from_sources(sources: &[(String, String)], reserved: &[&str]) -> Self {
+        let mut pack = RulePack::empty();
+        let mut taken: HashSet<String> =
+            reserved.iter().map(|s| s.to_string()).collect();
+        for (label, text) in sources {
+            let (decls, errors) = parse_pack(text);
+            for e in errors {
+                pack.faults.push(PackFault {
+                    file: label.clone(),
+                    line: e.line,
+                    detail: e.detail,
+                });
+            }
+            for decl in decls {
+                if taken.contains(&decl.id) {
+                    let native = reserved.contains(&decl.id.as_str());
+                    pack.faults.push(PackFault {
+                        file: label.clone(),
+                        line: decl.line,
+                        detail: if native {
+                            format!(
+                                "rule id `{}` collides with a native rule; skipped",
+                                decl.id
+                            )
+                        } else {
+                            format!("duplicate rule id `{}`; skipped", decl.id)
+                        },
+                    });
+                    continue;
+                }
+                match CompiledRule::compile(&decl) {
+                    Ok(rule) => {
+                        taken.insert(decl.id.clone());
+                        pack.rules.push(rule);
+                    }
+                    Err(detail) => pack.faults.push(PackFault {
+                        file: label.clone(),
+                        line: decl.line,
+                        detail: format!("rule `{}`: {detail}", decl.id),
+                    }),
+                }
+            }
+        }
+        pack
+    }
+
+    /// The bundled pack: native rules re-expressed as queries, used by
+    /// the CI parity gate. Loaded with no reserved ids — it *must*
+    /// collide with the natives, that is its job — so it is only ever
+    /// evaluated standalone (`adsafe rules check`), never inside an
+    /// assessment next to the native set.
+    pub fn builtin() -> Self {
+        let pack = RulePack::from_sources(
+            &[("<builtin>".to_string(), BUILTIN_PACK.to_string())],
+            &[],
+        );
+        debug_assert!(pack.faults.is_empty(), "bundled pack must load clean: {:?}", pack.faults);
+        pack
+    }
+}
+
+/// Source of the bundled parity pack.
+pub const BUILTIN_PACK: &str = include_str!("../rules/builtin.aq");
+
+/// [`Check`]-trait adapter: a compiled query rule that slots into the
+/// native rule machinery (contexts, sharding, `rules list` ordering).
+#[derive(Debug, Clone)]
+pub struct QueryRule(pub CompiledRule);
+
+impl Check for QueryRule {
+    fn id(&self) -> &'static str {
+        self.0.id
+    }
+
+    fn description(&self) -> &'static str {
+        self.0.desc
+    }
+
+    fn iso_refs(&self) -> &'static [&'static str] {
+        self.0.iso
+    }
+
+    fn run(&self, cx: &CheckContext<'_>) -> Vec<Diagnostic> {
+        let t0 = adsafe_trace::now_us();
+        let rows = rows_from_context(self.0.selector, cx);
+        let (diags, steps) = self.0.eval_rows(&rows);
+        adsafe_trace::counter("query.vm.steps").add(steps);
+        adsafe_trace::histogram(&adsafe_trace::labeled(
+            "checks.query",
+            &[("rule", self.0.id)],
+        ))
+        .record(adsafe_trace::now_us().saturating_sub(t0));
+        diags
+    }
+
+    fn scope(&self) -> CheckScope {
+        self.0.scope
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adsafe_checkers::AnalysisSet;
+
+    #[test]
+    fn interning_dedupes_and_outlives() {
+        let a = intern_static("some-rule-id");
+        let b = intern_static(&String::from("some-rule-id"));
+        assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn builtin_pack_compiles_clean_with_five_parity_rules() {
+        let pack = RulePack::builtin();
+        assert!(pack.faults.is_empty(), "{:?}", pack.faults);
+        let ids: Vec<&str> = pack.rules.iter().map(|r| r.id).collect();
+        assert_eq!(
+            ids,
+            vec![
+                "misra-15.5-multi-exit",
+                "misra-17.2-recursion",
+                "structure-function-length",
+                "structure-nesting-depth",
+                "structure-param-count",
+            ]
+        );
+        // Recursion is the program-scope demonstration; the rest shard.
+        for r in &pack.rules {
+            let want = if r.id == "misra-17.2-recursion" {
+                CheckScope::Program
+            } else {
+                CheckScope::File
+            };
+            assert_eq!(r.scope, want, "{}", r.id);
+            assert!(!r.iso.is_empty(), "{}", r.id);
+            assert!(r.iso[0].starts_with("Part6.Table"), "{}", r.id);
+        }
+    }
+
+    #[test]
+    fn duplicate_and_native_collisions_are_faults_not_errors() {
+        let src = "rule \"misra-15.1-goto\" { function -> warn }\n\
+                   rule \"fresh\" { function -> warn }\n\
+                   rule \"fresh\" { global -> info }\n";
+        let pack = RulePack::from_sources(
+            &[("pack.aq".to_string(), src.to_string())],
+            &["misra-15.1-goto"],
+        );
+        assert_eq!(pack.rules.len(), 1);
+        assert_eq!(pack.rules[0].id, "fresh");
+        assert_eq!(pack.faults.len(), 2);
+        assert!(pack.faults[0].detail.contains("collides with a native rule"));
+        assert!(pack.faults[1].detail.contains("duplicate rule id"));
+        assert_eq!(pack.faults[1].line, 3);
+    }
+
+    #[test]
+    fn type_errors_are_contained_per_rule() {
+        let src = "rule \"bad-type\" { function where name > 3 -> warn }\n\
+                   rule \"good\" { function where cc > 3 -> warn }\n";
+        let pack = RulePack::from_sources(&[("p.aq".to_string(), src.to_string())], &[]);
+        assert_eq!(pack.rules.len(), 1);
+        assert_eq!(pack.faults.len(), 1);
+        assert!(pack.faults[0].detail.contains("bad-type"));
+    }
+
+    #[test]
+    fn query_rule_runs_through_the_check_trait() {
+        let pack = RulePack::from_sources(
+            &[(
+                "p.aq".to_string(),
+                "rule \"q-multi-exit\" { desc \"d\" iso t8r1 function where multi_exit \
+                 -> warn \"function `{name}` has {returns} return statements / early exits\" }"
+                    .to_string(),
+            )],
+            &[],
+        );
+        assert!(pack.faults.is_empty(), "{:?}", pack.faults);
+        let rule = QueryRule(pack.rules[0].clone());
+        let mut set = AnalysisSet::new();
+        set.add(
+            "demo",
+            "demo.cc",
+            "int f(int x) { if (x > 0) { return 1; } return 0; }\nint g() { return 7; }\n",
+        );
+        let cx = set.context();
+        let diags = rule.run(&cx);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].check_id, "q-multi-exit");
+        assert_eq!(
+            diags[0].message,
+            "function `f` has 2 return statements / early exits"
+        );
+        assert_eq!(diags[0].function.as_deref(), Some("f"));
+    }
+}

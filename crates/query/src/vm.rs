@@ -1,0 +1,227 @@
+//! The register VM evaluating compiled predicates over fact rows.
+//!
+//! Evaluation is branch-and-compare over a small register file; jump
+//! targets are forward-only (validated at compile time), so every
+//! program terminates within `ops.len()` steps. The VM is defensive:
+//! an impossible operand pairing (which the typechecker rules out)
+//! evaluates to `false` rather than panicking, because query programs
+//! run inside the assessment pipeline where a panic costs a whole
+//! file's diagnostics.
+
+use crate::bytecode::{Op, Program};
+use crate::typeck::TemplatePart;
+use adsafe_lang::Span;
+use std::fmt::Write as _;
+
+/// One fact value in a row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// Integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+/// One row a query ranges over: the schema-ordered values plus the
+/// diagnostic anchors (span, enclosing function).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    /// Values, indexed by schema position for the row's selector.
+    pub vals: Vec<Value>,
+    /// Where a diagnostic on this row points.
+    pub span: Span,
+    /// Qualified function name for `Diagnostic::in_function`, if any.
+    pub function: Option<String>,
+}
+
+/// VM register slot; strings are borrowed from the row/constant pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Slot<'a> {
+    Int(i64),
+    Bool(bool),
+    Str(&'a str),
+}
+
+/// Runs `p` over `row`, adding executed-instruction counts to `steps`.
+/// Returns whether the row matched.
+pub fn eval(p: &Program, row: &Row, steps: &mut u64) -> bool {
+    let mut regs: Vec<Slot<'_>> = vec![Slot::Bool(false); p.regs as usize];
+    let mut pc = 0usize;
+    while pc < p.ops.len() {
+        *steps += 1;
+        match &p.ops[pc] {
+            Op::Field { dst, idx } => {
+                regs[*dst as usize] = match row.vals.get(*idx as usize) {
+                    Some(Value::Int(v)) => Slot::Int(*v),
+                    Some(Value::Bool(v)) => Slot::Bool(*v),
+                    Some(Value::Str(v)) => Slot::Str(v),
+                    None => return false,
+                };
+            }
+            Op::ConstInt { dst, v } => regs[*dst as usize] = Slot::Int(*v),
+            Op::ConstStr { dst, idx } => {
+                regs[*dst as usize] = Slot::Str(&p.strs[*idx as usize])
+            }
+            Op::ConstBool { dst, v } => regs[*dst as usize] = Slot::Bool(*v),
+            Op::Cmp { op, dst, a, b } => {
+                let ord = match (regs[*a as usize], regs[*b as usize]) {
+                    (Slot::Int(x), Slot::Int(y)) => x.cmp(&y),
+                    (Slot::Bool(x), Slot::Bool(y)) => x.cmp(&y),
+                    (Slot::Str(x), Slot::Str(y)) => x.cmp(y),
+                    _ => return false,
+                };
+                use crate::ast::CmpOp::*;
+                let v = match op {
+                    Eq => ord.is_eq(),
+                    Ne => ord.is_ne(),
+                    Lt => ord.is_lt(),
+                    Le => ord.is_le(),
+                    Gt => ord.is_gt(),
+                    Ge => ord.is_ge(),
+                };
+                regs[*dst as usize] = Slot::Bool(v);
+            }
+            Op::Not { dst, src } => {
+                let Slot::Bool(v) = regs[*src as usize] else { return false };
+                regs[*dst as usize] = Slot::Bool(!v);
+            }
+            Op::Mov { dst, src } => regs[*dst as usize] = regs[*src as usize],
+            Op::JumpIfFalse { cond, to } => {
+                let Slot::Bool(v) = regs[*cond as usize] else { return false };
+                if !v {
+                    pc = *to as usize;
+                    continue;
+                }
+            }
+            Op::JumpIfTrue { cond, to } => {
+                let Slot::Bool(v) = regs[*cond as usize] else { return false };
+                if v {
+                    pc = *to as usize;
+                    continue;
+                }
+            }
+            Op::Ret { src } => {
+                return matches!(regs[*src as usize], Slot::Bool(true));
+            }
+        }
+        pc += 1;
+    }
+    false
+}
+
+/// Renders a validated message template against a row.
+pub fn render_template(template: &[TemplatePart], row: &Row) -> String {
+    let mut out = String::new();
+    for part in template {
+        match part {
+            TemplatePart::Lit(s) => out.push_str(s),
+            TemplatePart::Field(idx) => match row.vals.get(*idx as usize) {
+                Some(Value::Int(v)) => {
+                    let _ = write!(out, "{v}");
+                }
+                Some(Value::Bool(v)) => {
+                    let _ = write!(out, "{v}");
+                }
+                Some(Value::Str(v)) => out.push_str(v),
+                None => out.push_str("<missing>"),
+            },
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_predicate;
+    use crate::parser::parse_pack;
+    use crate::rows::FunctionRow;
+    use adsafe_lang::FileId;
+
+    fn sample_row(cc: u32, multi_exit: bool) -> Row {
+        FunctionRow {
+            name: "f",
+            qualified: "ns::f",
+            module: "perception",
+            cc,
+            nloc: 12,
+            params: 2,
+            nesting: 1,
+            returns: if multi_exit { 2 } else { 1 },
+            multi_exit,
+            gotos: 0,
+            stmts: 9,
+            is_gpu: false,
+            is_kernel: false,
+            ptr_params: 0,
+            alloc_calls: 0,
+            uninit_reads: 0,
+            shadowed: 0,
+            pointer_uses: 0,
+            alloc_sites: 0,
+            opaque_stmts: 0,
+            has_named_params: true,
+            validates: false,
+            recursive: false,
+            span: Span::new(FileId(0), 0, 4),
+        }
+        .into_row()
+    }
+
+    fn predicate(src: &str) -> crate::bytecode::Program {
+        let (rules, errs) = parse_pack(src);
+        assert!(errs.is_empty(), "{errs:?}");
+        compile_predicate(&rules[0]).unwrap()
+    }
+
+    #[test]
+    fn evaluates_comparisons_and_logic() {
+        let p = predicate("rule \"r\" { function where cc > 10 and multi_exit -> warn }");
+        let mut steps = 0;
+        assert!(eval(&p, &sample_row(11, true), &mut steps));
+        assert!(!eval(&p, &sample_row(11, false), &mut steps));
+        assert!(!eval(&p, &sample_row(10, true), &mut steps));
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn short_circuit_skips_the_right_operand() {
+        let p = predicate("rule \"r\" { function where multi_exit and cc > 10 -> warn }");
+        let (mut fast, mut slow) = (0u64, 0u64);
+        // multi_exit=false short-circuits; multi_exit=true runs the cmp.
+        assert!(!eval(&p, &sample_row(11, false), &mut fast));
+        assert!(eval(&p, &sample_row(11, true), &mut slow));
+        assert!(fast < slow, "short-circuit must execute fewer ops: {fast} vs {slow}");
+    }
+
+    #[test]
+    fn module_filter_and_string_compare() {
+        let p = predicate("rule \"r\" { function in module \"perception\" -> warn }");
+        let mut steps = 0;
+        assert!(eval(&p, &sample_row(1, false), &mut steps));
+        let p = predicate("rule \"r\" { function in module \"control\" -> warn }");
+        assert!(!eval(&p, &sample_row(1, false), &mut steps));
+    }
+
+    #[test]
+    fn steps_bounded_by_program_length() {
+        let p = predicate(
+            "rule \"r\" { function where cc > 1 or nloc > 1 or params > 1 or gotos > 1 -> warn }",
+        );
+        let mut steps = 0;
+        eval(&p, &sample_row(5, false), &mut steps);
+        assert!(steps as usize <= p.ops.len());
+    }
+
+    #[test]
+    fn template_renders_every_value_kind() {
+        let (rules, _) = parse_pack(
+            "rule \"r\" { function -> warn \"{name} cc={cc} gpu={is_gpu} {{raw}}\" }",
+        );
+        let checked = crate::typeck::check(&rules[0]).unwrap();
+        let msg = render_template(&checked.template, &sample_row(7, false));
+        assert_eq!(msg, "f cc=7 gpu=false {raw}");
+    }
+}

@@ -3,18 +3,22 @@
 //!
 //! ```text
 //! adsafe assess <dir> [--asil A|B|C|D] [--report out.md] [--diagnostics]
-//!                     [--jobs N] [--no-cache] [--cache-dir PATH]
+//!                     [--jobs N] [--no-cache] [--cache-dir PATH] [--rules PATH]
 //!                     [--no-ledger] [--trace-out t.json] [--profile] [-v] [-q]
 //! adsafe serve [--addr HOST:PORT] [--jobs N] [--handlers N] [--queue N]
 //!              [--cache-dir PATH] [--keep-alive-max N] [--idle-timeout MS]
 //!              [--request-timeout MS] [--min-byte-rate B/S]
-//!              [--store-budget BYTES[k|m]] [--recorder-cap N]  # resident HTTP daemon
+//!              [--store-budget BYTES[k|m]] [--recorder-cap N]
+//!              [--rules PATH]  # resident HTTP daemon
 //! adsafe top [--addr HOST:PORT] [--interval MS] [--count N]  # live dashboard
 //! adsafe loadgen <dir> [--clients N] [--requests N] [--addr HOST:PORT]
 //!                [--jobs N] [--out PATH] [--no-knee]  # keep-alive load driver
 //! adsafe history [<dir>] [--last N] [--cache-dir PATH]  # run ledger
 //! adsafe diff [<dir>] <run-a> <run-b> [--cache-dir PATH] # drift gate
 //! adsafe check <file> [<file>...]          # rule findings only
+//! adsafe rules list|explain <id>|check <dir> [--rules PATH] [--builtin]
+//!              [--native] [--only ID]      # rule inventory & query packs
+//! adsafe gen --out DIR [--loc N] [--seed S] # synthetic Apollo-shaped corpus
 //! adsafe tables                            # print the Part-6 tables
 //! adsafe trace-compare <baseline> <current> # perf regression gate
 //! adsafe <dir> [flags...]                  # implicit `assess`
@@ -102,6 +106,8 @@ fn main() {
         Some("history") => cmd_history(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
+        Some("rules") => cmd_rules(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
         Some("tables") => cmd_tables(),
         Some("trace-compare") => cmd_trace_compare(&args[1..]),
         Some("top") => cmd_top(&args[1..]),
@@ -112,17 +118,19 @@ fn main() {
             eprintln!(
                 "usage:\n  adsafe assess <dir> [--asil A|B|C|D] [--report out.md] [--diagnostics]\n  \
                  {:17}[--jobs N] [--no-cache] [--cache-dir PATH] [--no-ledger]\n  \
-                 {:17}[--trace-out t.json] [--profile] [-v] [-q]\n  \
+                 {:17}[--rules PATH] [--trace-out t.json] [--profile] [-v] [-q]\n  \
                  adsafe serve [--addr HOST:PORT] [--jobs N] [--handlers N] [--queue N]\n  \
                  {:13}[--cache-dir PATH] [--keep-alive-max N] [--idle-timeout MS]\n  \
                  {:13}[--request-timeout MS] [--min-byte-rate B/S] [--store-budget BYTES[k|m]]\n  \
-                 {:13}[--recorder-cap N]\n  \
+                 {:13}[--recorder-cap N] [--rules PATH]\n  \
                  adsafe top [--addr HOST:PORT] [--interval MS] [--count N]\n  \
                  adsafe loadgen <dir> [--clients N] [--requests N] [--addr HOST:PORT]\n  \
                  {:15}[--jobs N] [--out PATH] [--no-knee]\n  \
                  adsafe history [<dir>] [--last N] [--cache-dir PATH]\n  \
                  adsafe diff [<dir>] <run-a> <run-b> [--cache-dir PATH]\n  \
-                 adsafe check <file> [<file>...]\n  adsafe tables\n  \
+                 adsafe check <file> [<file>...]\n  \
+                 adsafe rules list|explain <id>|check <dir> [--rules PATH] [--builtin] [--native] [--only ID]\n  \
+                 adsafe gen --out DIR [--loc N] [--seed S]\n  adsafe tables\n  \
                  adsafe trace-compare <baseline.json> <current.json>",
                 "", "", "", "", "", ""
             );
@@ -187,9 +195,20 @@ fn cmd_assess(args: &[String]) -> i32 {
     let mut use_cache = true;
     let mut use_ledger = true;
     let mut cache_dir_override: Option<PathBuf> = None;
+    let mut rules_arg: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--rules" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => rules_arg = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("assess: --rules needs a pack file or directory");
+                        return EXIT_USAGE;
+                    }
+                }
+            }
             "--jobs" | "-j" => {
                 i += 1;
                 match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
@@ -315,14 +334,31 @@ fn cmd_assess(args: &[String]) -> i32 {
         None => (String::new(), 0),
     };
 
+    // Query-rule packs: an explicit `--rules` path wins; otherwise any
+    // `ROOT/.adsafe-rules/*.aq` packs load automatically. Pack faults
+    // are Info-severity and never block the run.
+    let rule_paths = match &rules_arg {
+        Some(p) => adsafe::query::resolve_rules_arg(p),
+        None => adsafe::query::discover_rule_paths(&root),
+    };
+    let pack = adsafe::query::load_rule_pack(&rule_paths);
+    if !quiet && !pack.rules.is_empty() {
+        eprintln!("loaded {} query rule(s) from {} pack file(s)", pack.rules.len(), rule_paths.len());
+    }
+    let pack_faults: Vec<_> = pack.faults.iter().map(adsafe::query::pack_fault).collect();
+
     let cache_dir = use_cache.then(|| base_cache_dir.clone());
     let mut assessment = Assessment::new().with_options(AssessmentOptions {
         asil,
         jobs,
         cache_dir,
         run_id: run_id.clone(),
+        rules: Some(std::sync::Arc::new(pack)),
         ..AssessmentOptions::default()
     });
+    for f in pack_faults {
+        assessment.add_fault(f);
+    }
     if let Some(l) = &ledger {
         for torn in l.torn_lines() {
             assessment.add_fault(adsafe_serve::ledger_torn_fault(&l.file(), torn));
@@ -700,6 +736,16 @@ fn cmd_serve(args: &[String]) -> i32 {
                     }
                 }
             }
+            "--rules" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => config.rules = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("serve: --rules needs a pack file or directory");
+                        return EXIT_USAGE;
+                    }
+                }
+            }
             other => {
                 eprintln!("serve: unknown option `{other}`");
                 return EXIT_USAGE;
@@ -1019,6 +1065,347 @@ fn cmd_check(args: &[String]) -> i32 {
     } else {
         i32::from(!report.diagnostics.is_empty())
     }
+}
+
+/// Loads the query-rule pack selected by the `rules` subcommand flags:
+/// `--builtin` picks the bundled parity pack (which reuses native ids
+/// and therefore never mixes with native rules), `--rules PATH` loads
+/// a pack file or a directory of `*.aq` files, and with neither the
+/// `.adsafe-rules` packs under `root` (when given) are discovered.
+fn load_cli_pack(
+    rules: Option<&Path>,
+    builtin: bool,
+    root: Option<&Path>,
+) -> adsafe::rulequery::RulePack {
+    if builtin {
+        return adsafe::rulequery::RulePack::builtin();
+    }
+    let paths = match rules {
+        Some(p) => adsafe::query::resolve_rules_arg(p),
+        None => root.map(adsafe::query::discover_rule_paths).unwrap_or_default(),
+    };
+    adsafe::query::load_rule_pack(&paths)
+}
+
+/// Prints contained pack-loading faults to stderr; the run proceeds
+/// with whatever rules survived.
+fn print_pack_faults(pack: &adsafe::rulequery::RulePack) {
+    for f in &pack.faults {
+        if f.line == 0 {
+            eprintln!("rules: {}: {}", f.file, f.detail);
+        } else {
+            eprintln!("rules: {}:{}: {}", f.file, f.line, f.detail);
+        }
+    }
+}
+
+fn scope_name(scope: adsafe::checkers::CheckScope) -> &'static str {
+    match scope {
+        adsafe::checkers::CheckScope::File => "file",
+        adsafe::checkers::CheckScope::Program => "program",
+    }
+}
+
+/// `adsafe rules <list|explain|check>`: enumerate, inspect, and run the
+/// rule set — native checkers plus query rules from `.aq` packs.
+fn cmd_rules(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_rules_list(&args[1..]),
+        Some("explain") => cmd_rules_explain(&args[1..]),
+        Some("check") => cmd_rules_check(&args[1..]),
+        Some(other) => {
+            eprintln!("rules: unknown subcommand `{other}` (want list, explain, or check)");
+            EXIT_USAGE
+        }
+        None => {
+            eprintln!("rules: missing subcommand (list, explain, or check)");
+            EXIT_USAGE
+        }
+    }
+}
+
+/// Flags shared by the `rules` subcommands; positional arguments land
+/// in `positional`.
+struct RulesFlags {
+    rules: Option<PathBuf>,
+    builtin: bool,
+    native: bool,
+    only: Option<String>,
+    positional: Vec<String>,
+}
+
+fn parse_rules_flags(args: &[String]) -> Result<RulesFlags, i32> {
+    let mut rules: Option<PathBuf> = None;
+    let mut builtin = false;
+    let mut native = false;
+    let mut only: Option<String> = None;
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--rules" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => rules = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("rules: --rules needs a pack file or directory");
+                        return Err(EXIT_USAGE);
+                    }
+                }
+            }
+            "--builtin" => builtin = true,
+            "--native" => native = true,
+            "--only" => {
+                i += 1;
+                match args.get(i) {
+                    Some(id) => only = Some(id.clone()),
+                    None => {
+                        eprintln!("rules: --only needs a rule id");
+                        return Err(EXIT_USAGE);
+                    }
+                }
+            }
+            other if !other.starts_with('-') => positional.push(other.to_string()),
+            other => {
+                eprintln!("rules: unknown option `{other}`");
+                return Err(EXIT_USAGE);
+            }
+        }
+        i += 1;
+    }
+    if rules.is_some() && builtin {
+        eprintln!("rules: --rules and --builtin are mutually exclusive");
+        return Err(EXIT_USAGE);
+    }
+    Ok(RulesFlags { rules, builtin, native, only, positional })
+}
+
+/// `adsafe rules list`: one stable line per rule — origin, scope, id,
+/// ISO references, description. Native rules first (registration
+/// order), then query rules in pack order.
+fn cmd_rules_list(args: &[String]) -> i32 {
+    let RulesFlags { rules, builtin, positional, .. } = match parse_rules_flags(args) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    let root = positional.first().map(PathBuf::from);
+    let pack = load_cli_pack(rules.as_deref(), builtin, root.as_deref());
+    print_pack_faults(&pack);
+    let natives = adsafe::checkers::default_checks();
+    for c in &natives {
+        println!(
+            "native  {:<8} {:<34} {:<24} {}",
+            scope_name(c.scope()),
+            c.id(),
+            c.iso_refs().join(","),
+            c.description()
+        );
+    }
+    for r in &pack.rules {
+        println!(
+            "query   {:<8} {:<34} {:<24} {}",
+            scope_name(r.scope),
+            r.id,
+            r.iso.join(","),
+            r.desc
+        );
+    }
+    println!("{} native rule(s), {} query rule(s)", natives.len(), pack.rules.len());
+    EXIT_OK
+}
+
+/// `adsafe rules explain <id>`: full detail for one rule. Query rules
+/// additionally print the canonical source form and the compiled
+/// bytecode disassembly.
+fn cmd_rules_explain(args: &[String]) -> i32 {
+    let RulesFlags { rules, builtin, positional, .. } = match parse_rules_flags(args) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    let Some(id) = positional.first() else {
+        eprintln!("rules: explain needs a rule id");
+        return EXIT_USAGE;
+    };
+    if let Some(c) = adsafe::checkers::default_checks().into_iter().find(|c| c.id() == id) {
+        println!("rule:   {}", c.id());
+        println!("origin: native");
+        println!("scope:  {}", scope_name(c.scope()));
+        println!("iso:    {}", c.iso_refs().join(", "));
+        println!("desc:   {}", c.description());
+        return EXIT_OK;
+    }
+    let pack = load_cli_pack(rules.as_deref(), builtin, Some(Path::new(".")));
+    print_pack_faults(&pack);
+    let Some(r) = pack.rules.iter().find(|r| r.id == id.as_str()) else {
+        eprintln!("rules: no rule named `{id}` (try `adsafe rules list`)");
+        return EXIT_USAGE;
+    };
+    println!("rule:   {}", r.id);
+    println!("origin: query");
+    println!("scope:  {}", scope_name(r.scope));
+    println!("iso:    {}", r.iso.join(", "));
+    println!("desc:   {}", r.desc);
+    println!("\nsource:\n{}", r.decl);
+    println!("bytecode:\n{}", r.program);
+    EXIT_OK
+}
+
+/// `adsafe rules check <dir>`: run rules directly over a source tree
+/// and print rendered diagnostics in the canonical deterministic
+/// order. `--native` runs the native checkers; otherwise the selected
+/// query pack runs. The CI parity gate diffs the two outputs.
+fn cmd_rules_check(args: &[String]) -> i32 {
+    let RulesFlags { rules, builtin, native, only, positional } = match parse_rules_flags(args) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    let Some(dir) = positional.first() else {
+        eprintln!("rules: check needs a <dir>");
+        return EXIT_USAGE;
+    };
+    let root = PathBuf::from(dir);
+    if !root.is_dir() {
+        eprintln!("rules: `{dir}` is not a directory");
+        return EXIT_USAGE;
+    }
+    let mut files = Vec::new();
+    collect_sources(&root, &mut files);
+    if files.is_empty() {
+        eprintln!("rules: no C/C++/CUDA sources under `{dir}`");
+        return EXIT_IO;
+    }
+    let mut set = adsafe::checkers::AnalysisSet::new();
+    for f in &files {
+        match std::fs::read(f) {
+            Ok(bytes) => set.add(
+                &module_of(&root, f),
+                &f.display().to_string(),
+                &String::from_utf8_lossy(&bytes),
+            ),
+            Err(e) => eprintln!("  skipping unreadable {}: {e}", f.display()),
+        }
+    }
+    let cx = set.context();
+    let mut diagnostics = Vec::new();
+    if native {
+        for c in adsafe::checkers::default_checks() {
+            if only.as_deref().is_some_and(|id| id != c.id()) {
+                continue;
+            }
+            diagnostics.extend(c.run(&cx));
+        }
+    } else {
+        let pack = load_cli_pack(rules.as_deref(), builtin, Some(&root));
+        print_pack_faults(&pack);
+        if pack.rules.is_empty() {
+            eprintln!(
+                "rules: no query rules loaded (use --rules PATH, --builtin, or \
+                 {}/.adsafe-rules/*.aq)",
+                dir
+            );
+        }
+        for r in &pack.rules {
+            if only.as_deref().is_some_and(|id| id != r.id) {
+                continue;
+            }
+            use adsafe::checkers::Check as _;
+            diagnostics.extend(adsafe::rulequery::QueryRule(r.clone()).run(&cx));
+        }
+    }
+    // Same canonical order the pipeline uses, so outputs diff cleanly.
+    diagnostics.sort_by(|a, b| {
+        (a.check_id, a.span.file, a.span.start).cmp(&(b.check_id, b.span.file, b.span.start))
+    });
+    for d in &diagnostics {
+        println!("{}", d.render(&set.sm));
+    }
+    println!("{} findings", diagnostics.len());
+    EXIT_OK
+}
+
+/// `adsafe gen --out DIR [--loc N] [--seed S]`: writes the calibrated
+/// Apollo-shaped synthetic corpus to DIR, scaled to roughly N total
+/// lines (default: the paper-scale ≈220k).
+fn cmd_gen(args: &[String]) -> i32 {
+    let mut out: Option<PathBuf> = None;
+    let mut loc: usize = 0; // 0 = paper scale, unscaled
+    let mut seed: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("gen: --out needs a directory");
+                        return EXIT_USAGE;
+                    }
+                }
+            }
+            "--loc" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => loc = n,
+                    _ => {
+                        eprintln!("gen: --loc needs a positive line count");
+                        return EXIT_USAGE;
+                    }
+                }
+            }
+            "--seed" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(s) => seed = Some(s),
+                    None => {
+                        eprintln!("gen: --seed needs an integer");
+                        return EXIT_USAGE;
+                    }
+                }
+            }
+            other => {
+                eprintln!("gen: unknown option `{other}`");
+                return EXIT_USAGE;
+            }
+        }
+        i += 1;
+    }
+    let Some(out) = out else {
+        eprintln!("gen: missing --out DIR");
+        return EXIT_USAGE;
+    };
+    let base = adsafe::corpus::ApolloSpec::paper_scale();
+    let base_loc: usize = base.modules.iter().map(|m| m.loc).sum();
+    let factor = if loc == 0 { 1.0 } else { loc as f64 / base_loc as f64 };
+    let spec = adsafe::corpus::ApolloSpec {
+        modules: base.modules.iter().map(|m| m.scaled(factor)).collect(),
+        seed: seed.unwrap_or(base.seed),
+    };
+    let files = adsafe::corpus::generate(&spec);
+    let mut lines = 0usize;
+    for gf in &files {
+        let path = out.join(&gf.path);
+        if let Some(parent) = path.parent() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("gen: cannot create {}: {e}", parent.display());
+                return EXIT_IO;
+            }
+        }
+        if let Err(e) = std::fs::write(&path, &gf.text) {
+            eprintln!("gen: cannot write {}: {e}", path.display());
+            return EXIT_IO;
+        }
+        lines += gf.text.lines().count();
+    }
+    println!(
+        "generated {} files, {} lines ({} modules, seed {}) under {}",
+        files.len(),
+        lines,
+        spec.modules.len(),
+        spec.seed,
+        out.display()
+    );
+    EXIT_OK
 }
 
 fn cmd_tables() -> i32 {

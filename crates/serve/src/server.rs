@@ -79,6 +79,10 @@ pub struct ServeConfig {
     /// in-memory ring (`GET /requests`, `GET /trace/recent`) retains
     /// before evicting oldest-first. Clamped to at least 1.
     pub recorder_cap: usize,
+    /// Query-rule pack (a `.aq` file or a directory of them) loaded at
+    /// startup and evaluated alongside the native rules on every
+    /// `/assess`. `None` = native rules only.
+    pub rules: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -95,6 +99,7 @@ impl Default for ServeConfig {
             min_byte_rate: 128,
             store_budget: 0,
             recorder_cap: 256,
+            rules: None,
         }
     }
 }
@@ -138,6 +143,10 @@ struct Shared {
     /// Connection ID allocator (1-based; doubles as the Chrome trace
     /// `tid` track in `/trace/recent`).
     next_conn: AtomicU64,
+    /// Query-rule pack loaded once at startup (empty when the daemon
+    /// was started without `--rules`); shared by every `/assess` and
+    /// listed by `GET /rules`.
+    rules: Arc<adsafe::rulequery::RulePack>,
 }
 
 thread_local! {
@@ -169,6 +178,7 @@ fn endpoint_key(path: &str) -> &'static str {
         "/metrics" => "metrics",
         "/healthz" => "healthz",
         "/requests" => "requests",
+        "/rules" => "rules",
         "/trace/recent" => "trace",
         p if p == "/runs" || p.starts_with("/runs/") => "runs",
         _ => "other",
@@ -227,6 +237,10 @@ impl Server {
             runs: Mutex::new(Vec::new()),
             recorder: FlightRecorder::new(config.recorder_cap),
             next_conn: AtomicU64::new(0),
+            rules: Arc::new(match config.rules.as_deref() {
+                Some(p) => adsafe::query::load_rule_pack(&adsafe::query::resolve_rules_arg(p)),
+                None => adsafe::rulequery::RulePack::empty(),
+            }),
         });
         let exec = Executor::new(config.handlers, config.queue_capacity);
         let accept = {
@@ -495,6 +509,7 @@ fn route(req: &Request, shared: &Arc<Shared>) -> Response {
         ("GET", "/requests") => requests_log(req, shared),
         ("GET", "/trace/recent") => trace_recent(shared),
         ("GET", "/runs") => runs_index(shared),
+        ("GET", "/rules") => rules_listing(shared),
         ("GET", p) if p.starts_with("/runs/") => {
             runs_one(p.trim_start_matches("/runs/"), shared)
         }
@@ -502,7 +517,7 @@ fn route(req: &Request, shared: &Arc<Shared>) -> Response {
             Response::text(405, "method not allowed\n").with_header("Allow", "POST")
         }
         (_, "/metrics") | (_, "/healthz") | (_, "/runs") | (_, "/requests")
-        | (_, "/trace/recent") => {
+        | (_, "/rules") | (_, "/trace/recent") => {
             Response::text(405, "method not allowed\n").with_header("Allow", "GET")
         }
         (_, p) if p.starts_with("/runs/") => {
@@ -686,8 +701,14 @@ fn assess(req: &Request, shared: &Arc<Shared>) -> Response {
         jobs,
         store: Some(Arc::clone(&shared.store)),
         run_id: run_id.clone(),
+        rules: Some(Arc::clone(&shared.rules)),
         ..AssessmentOptions::default()
     });
+    // Pack-loading faults from startup repeat on every request that
+    // uses the pack: each response's fault list stands alone.
+    for pf in &shared.rules.faults {
+        assessment.add_fault(adsafe::query::pack_fault(pf));
+    }
     if let Some(l) = &ledger {
         for torn in l.torn_lines() {
             assessment.add_fault(crate::ledger_torn_fault(&l.file(), torn));
@@ -805,6 +826,63 @@ fn runs_index(shared: &Arc<Shared>) -> Response {
         );
     }
     out.push(']');
+    Response::json(200, out)
+}
+
+/// `GET /rules`: every rule this daemon evaluates on `/assess` —
+/// native checkers first (registration order), then the loaded query
+/// pack (pack order) — with ids, scopes, ISO references, and any
+/// contained pack-loading faults. The order is stable across requests.
+fn rules_listing(shared: &Arc<Shared>) -> Response {
+    use std::fmt::Write as _;
+    let scope_name = |s: adsafe::checkers::CheckScope| match s {
+        adsafe::checkers::CheckScope::File => "file",
+        adsafe::checkers::CheckScope::Program => "program",
+    };
+    let mut out = String::from("{\"rules\":[");
+    let mut first = true;
+    let entry = |out: &mut String,
+                 first: &mut bool,
+                 id: &str,
+                 origin: &str,
+                 scope: &str,
+                 iso: &[&str],
+                 desc: &str| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str("{\"id\":");
+        write_escaped(out, id);
+        let _ = write!(out, ",\"origin\":\"{origin}\",\"scope\":\"{scope}\",\"iso\":[");
+        for (i, r) in iso.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_escaped(out, r);
+        }
+        out.push_str("],\"desc\":");
+        write_escaped(out, desc);
+        out.push('}');
+    };
+    for c in adsafe::checkers::default_checks() {
+        entry(&mut out, &mut first, c.id(), "native", scope_name(c.scope()), c.iso_refs(), c.description());
+    }
+    for r in &shared.rules.rules {
+        entry(&mut out, &mut first, r.id, "query", scope_name(r.scope), r.iso, r.desc);
+    }
+    out.push_str("],\"pack_faults\":[");
+    for (i, f) in shared.rules.faults.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"file\":");
+        write_escaped(&mut out, &f.file);
+        let _ = write!(out, ",\"line\":{},\"detail\":", f.line);
+        write_escaped(&mut out, &f.detail);
+        out.push('}');
+    }
+    out.push_str("]}");
     Response::json(200, out)
 }
 

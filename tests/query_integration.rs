@@ -1,0 +1,418 @@
+//! End-to-end integration of the query-rule subsystem: native/query
+//! parity on both evaluation paths (live AST and cached facts),
+//! byte-identical reports across worker counts and cache states with
+//! packs active, pack-fault containment, and parser robustness
+//! properties.
+
+use adsafe::checkers::{default_checks, AnalysisSet, Check, CheckScope};
+use adsafe::corpus::{generate, ApolloSpec};
+use adsafe::rulequery::ast::{CmpOp, Expr};
+use adsafe::rulequery::{
+    parse_pack, pretty_pack, QueryRule, RuleDecl, RulePack, Selector, SeverityKw,
+};
+use adsafe::{render, Assessment, AssessmentOptions};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A file that makes the nesting-depth and param-count rules fire —
+/// the generated corpus exercises the other three parity rules.
+fn stress_source() -> String {
+    let mut s = String::from(
+        "int deep(int a, int b, int c, int d, int e, int f, int g) {\n\
+         \x20 if (a) { if (b) { if (c) { if (d) { if (e) { if (f) { g = 1; } } } } } }\n\
+         \x20 return g;\n}\n\
+         int big(int x) {\n",
+    );
+    for i in 0..105 {
+        s.push_str(&format!("  x = x + {i};\n"));
+    }
+    s.push_str("  return x;\n}\n");
+    s
+}
+
+fn corpus_sources() -> Vec<(String, String, String)> {
+    let mut out: Vec<(String, String, String)> = generate(&ApolloSpec::test_scale())
+        .into_iter()
+        .map(|f| (f.module, f.path, f.text))
+        .collect();
+    out.push(("stress".into(), "stress/stress.cc".into(), stress_source()));
+    out
+}
+
+fn corpus_set() -> AnalysisSet {
+    let mut set = AnalysisSet::new();
+    for (module, path, text) in corpus_sources() {
+        set.add(&module, &path, &text);
+    }
+    set
+}
+
+/// The five bundled parity rules produce byte-identical diagnostics to
+/// their native twins on the live-AST path (`adsafe rules check`), and
+/// each actually fires on the test corpus — zero-finding parity would
+/// prove nothing.
+#[test]
+fn builtin_pack_matches_native_checkers_byte_for_byte() {
+    let set = corpus_set();
+    let cx = set.context();
+    let pack = RulePack::builtin();
+    assert!(pack.faults.is_empty(), "bundled pack must load clean: {:?}", pack.faults);
+    assert_eq!(pack.rules.len(), 5);
+    let natives = default_checks();
+    for rule in &pack.rules {
+        let native = natives
+            .iter()
+            .find(|c| c.id() == rule.id)
+            .expect("every parity rule shadows a native checker");
+        assert_eq!(native.scope(), rule.scope, "{}", rule.id);
+        assert_eq!(native.iso_refs(), rule.iso, "{}", rule.id);
+        assert_eq!(native.description(), rule.desc, "{}", rule.id);
+        let native_diags = native.run(&cx);
+        let query_diags = QueryRule(rule.clone()).run(&cx);
+        assert!(!native_diags.is_empty(), "{} never fired — weak corpus", rule.id);
+        let rendered = |ds: &[adsafe::checkers::Diagnostic]| -> Vec<String> {
+            ds.iter()
+                .map(|d| format!("{} | fn={:?}", d.render(&set.sm), d.function))
+                .collect()
+        };
+        assert_eq!(rendered(&native_diags), rendered(&query_diags), "{}", rule.id);
+    }
+}
+
+/// A pack of `q-` prefixed clones of the parity rules, loaded the way
+/// the CLI loads user packs (native ids reserved).
+const MIRROR_PACK: &str = r#"
+rule "q-multi-exit" {
+  iso t8r1
+  function where multi_exit
+  -> warn "function `{name}` has {returns} return statements / early exits"
+}
+rule "q-recursion" {
+  iso t8r10
+  function where recursive
+  -> violation "function `{name}` participates in recursion"
+}
+rule "q-function-length" {
+  iso t3r2
+  function where nloc > 100
+  -> warn "function `{name}` is {nloc} lines (limit 100)"
+}
+rule "q-nesting-depth" {
+  iso t1r1
+  function where nesting > 5
+  -> warn "function `{name}` nests {nesting} levels deep (limit 5)"
+}
+rule "q-param-count" {
+  iso t3r3
+  function where params > 6
+  -> info "function `{name}` takes {params} parameters (limit 6)"
+}
+"#;
+
+fn mirror_pack() -> RulePack {
+    let native = adsafe::query::native_rule_ids();
+    let pack = RulePack::from_sources(&[("mirror.aq".into(), MIRROR_PACK.into())], &native);
+    assert!(pack.faults.is_empty(), "{:?}", pack.faults);
+    assert_eq!(pack.rules.len(), 5);
+    pack
+}
+
+fn run_report(
+    jobs: usize,
+    rules: Option<Arc<RulePack>>,
+    cache_dir: Option<std::path::PathBuf>,
+) -> adsafe::AssessmentReport {
+    let mut a = Assessment::new().with_options(AssessmentOptions {
+        jobs,
+        rules,
+        cache_dir,
+        ..AssessmentOptions::default()
+    });
+    for (module, path, text) in corpus_sources() {
+        a.add_file(&module, &path, &text);
+    }
+    a.run()
+}
+
+/// The pipeline's facts path (what `adsafe assess --rules` runs) emits
+/// the same findings for a query rule as the native checker it mirrors
+/// — same spans, severities, messages, and function attribution.
+#[test]
+fn pipeline_query_rules_mirror_native_findings() {
+    let report = run_report(2, Some(Arc::new(mirror_pack())), None);
+    let pairs = [
+        ("misra-15.5-multi-exit", "q-multi-exit"),
+        ("misra-17.2-recursion", "q-recursion"),
+        ("structure-function-length", "q-function-length"),
+        ("structure-nesting-depth", "q-nesting-depth"),
+        ("structure-param-count", "q-param-count"),
+    ];
+    for (native_id, query_id) in pairs {
+        let key = |d: &adsafe::checkers::Diagnostic| {
+            format!("{} {:?} {} {:?}", d.severity, d.span, d.message, d.function)
+        };
+        let mut native: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.check_id == native_id)
+            .map(key)
+            .collect();
+        let mut query: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.check_id == query_id)
+            .map(key)
+            .collect();
+        native.sort();
+        query.sort();
+        assert!(!native.is_empty(), "{native_id} never fired");
+        assert_eq!(native, query, "{native_id} vs {query_id}");
+    }
+}
+
+/// With a pack active, the deterministic report is byte-identical
+/// across worker counts and across cold/warm cache states.
+#[test]
+fn query_reports_are_deterministic_across_jobs_and_cache() {
+    let pack = Arc::new(mirror_pack());
+    let serial = run_report(1, Some(Arc::clone(&pack)), None);
+    let parallel = run_report(4, Some(Arc::clone(&pack)), None);
+    assert_eq!(
+        render::deterministic_report_markdown(&serial),
+        render::deterministic_report_markdown(&parallel),
+        "worker count leaked into the report"
+    );
+
+    let dir = std::env::temp_dir().join(format!("adsafe-query-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cold = run_report(4, Some(Arc::clone(&pack)), Some(dir.clone()));
+    let warm = run_report(2, Some(Arc::clone(&pack)), Some(dir.clone()));
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(
+        render::deterministic_report_markdown(&cold),
+        render::deterministic_report_markdown(&warm),
+        "cache state leaked into the report"
+    );
+    assert_eq!(
+        render::deterministic_report_markdown(&serial),
+        render::deterministic_report_markdown(&cold),
+        "cache-backed run diverged from the in-memory run"
+    );
+}
+
+/// Query rules are report-side only: enabling a pack must not change
+/// the compliance verdicts (the paper's evidence stays native).
+#[test]
+fn query_rules_never_move_compliance_verdicts() {
+    let without = run_report(2, None, None);
+    let with = run_report(2, Some(Arc::new(mirror_pack())), None);
+    assert_eq!(
+        without.compliance.blocking_count(),
+        with.compliance.blocking_count()
+    );
+    assert_eq!(
+        render::table1(&without).to_ascii(),
+        render::table1(&with).to_ascii()
+    );
+}
+
+/// An empty or comment-only pack is a clean no-rules result, not an
+/// error.
+#[test]
+fn empty_and_comment_only_packs_load_clean() {
+    for src in ["", "\n\n", "# nothing but commentary\n# and more\n"] {
+        let pack = RulePack::from_sources(&[("empty.aq".into(), src.into())], &[]);
+        assert!(pack.rules.is_empty(), "{src:?}");
+        assert!(pack.faults.is_empty(), "{src:?}");
+    }
+}
+
+/// A malformed declaration is skipped with a fault naming file and
+/// line; the surviving rules still run and the report is NOT degraded.
+#[test]
+fn malformed_pack_degrades_to_surviving_rules() {
+    let src = "\
+rule \"q-good\" { function where multi_exit -> warn \"multi-exit `{name}`\" }\n\
+rule \"q-broken\" { function where nosuchfield > 3 -> warn }\n\
+rule \"q-also-good\" { function where params > 6 -> info \"params {params}\" }\n";
+    let pack = RulePack::from_sources(&[("team.aq".into(), src.into())], &[]);
+    let ids: Vec<&str> = pack.rules.iter().map(|r| r.id).collect();
+    assert_eq!(ids, ["q-good", "q-also-good"]);
+    assert_eq!(pack.faults.len(), 1);
+    assert_eq!(pack.faults[0].file, "team.aq");
+    assert_eq!(pack.faults[0].line, 2);
+
+    let fault = adsafe::query::pack_fault(&pack.faults[0]);
+    let mut a = Assessment::new().with_options(AssessmentOptions {
+        rules: Some(Arc::new(pack)),
+        ..AssessmentOptions::default()
+    });
+    a.add_fault(fault);
+    for (module, path, text) in corpus_sources() {
+        a.add_file(&module, &path, &text);
+    }
+    let report = a.run();
+    assert!(!report.degraded, "an invalid pack must not degrade the run");
+    assert!(report.diagnostics.iter().any(|d| d.check_id == "q-good"));
+    assert!(report.faults.iter().any(|f| f.to_string().contains("rule pack invalid at line 2")));
+}
+
+/// Duplicate ids and collisions with native rule ids are skipped with
+/// distinct fault messages.
+#[test]
+fn duplicate_and_native_colliding_ids_are_skipped() {
+    let src = "\
+rule \"misra-15.5-multi-exit\" { function where multi_exit -> warn }\n\
+rule \"q-dup\" { function where is_gpu -> info }\n\
+rule \"q-dup\" { function where is_kernel -> info }\n";
+    let pack =
+        RulePack::from_sources(&[("p.aq".into(), src.into())], &adsafe::query::native_rule_ids());
+    assert_eq!(pack.rules.len(), 1);
+    assert_eq!(pack.rules[0].id, "q-dup");
+    assert_eq!(pack.faults.len(), 2);
+    assert!(pack.faults[0].detail.contains("collides with a native rule"));
+    assert!(pack.faults[1].detail.contains("duplicate rule id"));
+}
+
+/// Program-scope query rules (anything touching `recursive`) are
+/// evaluated whole-program, exactly like the native recursion checker.
+#[test]
+fn recursive_predicate_lowers_to_program_scope() {
+    let pack = mirror_pack();
+    let by_id: Vec<(&str, CheckScope)> = pack.rules.iter().map(|r| (r.id, r.scope)).collect();
+    for (id, scope) in by_id {
+        let expected =
+            if id == "q-recursion" { CheckScope::Program } else { CheckScope::File };
+        assert_eq!(scope, expected, "{id}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parser robustness properties.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The pack parser is total on arbitrary printable bytes: it never
+    /// panics, and every error carries a plausible 1-based line.
+    #[test]
+    fn query_parser_is_total_on_byte_soup(src in "[ -~\n\t]{0,300}") {
+        let (_, errors) = parse_pack(&src);
+        let lines = src.lines().count().max(1) as u32;
+        for e in errors {
+            prop_assert!(e.line >= 1 && e.line <= lines, "line {} of {}", e.line, lines);
+        }
+    }
+
+    /// Totality on keyword soup, which stresses the recovery sync
+    /// points harder than uniform ASCII.
+    #[test]
+    fn query_parser_is_total_on_keyword_soup(
+        toks in proptest::collection::vec(
+            prop_oneof![
+                Just("rule"), Just("{"), Just("}"), Just("->"), Just("where"),
+                Just("desc"), Just("iso"), Just("function"), Just("global"),
+                Just("file"), Just("in"), Just("module"), Just("and"), Just("or"),
+                Just("not"), Just("=="), Just("\"x\""), Just("42"), Just("t8r1"),
+                Just("warn"), Just("violation"), Just("("), Just(")"),
+            ],
+            0..60,
+        )
+    ) {
+        let src = toks.join(" ");
+        let _ = parse_pack(&src);
+    }
+}
+
+/// Deterministic xorshift64* generator for the round-trip property —
+/// seeds come from proptest so failures shrink to a seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0.max(1);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+fn gen_expr(rng: &mut Rng, sel: Selector, depth: usize) -> Expr {
+    let fields = adsafe::rulequery::schema::fields(sel);
+    let field = |rng: &mut Rng| fields[rng.below(fields.len())].0.to_string();
+    let primary = |rng: &mut Rng| match rng.below(4) {
+        0 => Expr::Int(rng.next() as i64 % 1000),
+        1 => Expr::Str(format!("s{}", rng.below(10))),
+        2 => Expr::Bool(rng.below(2) == 0),
+        _ => Expr::Field(field(rng)),
+    };
+    let choice = if depth == 0 { rng.below(2) } else { rng.below(5) };
+    match choice {
+        0 => Expr::Field(field(rng)),
+        1 => {
+            const OPS: [CmpOp; 6] =
+                [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+            Expr::Cmp(
+                OPS[rng.below(OPS.len())],
+                Box::new(primary(rng)),
+                Box::new(primary(rng)),
+            )
+        }
+        2 => Expr::Not(Box::new(gen_expr(rng, sel, depth - 1))),
+        3 => Expr::And(
+            Box::new(gen_expr(rng, sel, depth - 1)),
+            Box::new(gen_expr(rng, sel, depth - 1)),
+        ),
+        _ => Expr::Or(
+            Box::new(gen_expr(rng, sel, depth - 1)),
+            Box::new(gen_expr(rng, sel, depth - 1)),
+        ),
+    }
+}
+
+fn gen_rule(rng: &mut Rng, i: usize) -> RuleDecl {
+    let selector =
+        [Selector::Function, Selector::Global, Selector::File][rng.below(3)];
+    RuleDecl {
+        id: format!("gen-rule-{i}"),
+        line: 0,
+        desc: (rng.below(2) == 0).then(|| format!("generated rule {i}")),
+        iso: (0..rng.below(3))
+            .map(|_| format!("Part6.Table{}.Row{}", 1 + rng.below(8), 1 + rng.below(10)))
+            .collect(),
+        selector,
+        module: (rng.below(3) == 0).then(|| format!("mod{}", rng.below(4))),
+        where_expr: (rng.below(4) != 0).then(|| gen_expr(rng, selector, 2)),
+        severity: [SeverityKw::Info, SeverityKw::Warn, SeverityKw::Violation][rng.below(3)],
+        message: (rng.below(2) == 0).then(|| format!("finding {{{}}} #{i}", "name")),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// parse → pretty → parse is the identity on generated ASTs: the
+    /// pretty-printer is a faithful canonical form of the language.
+    #[test]
+    fn pretty_printed_packs_round_trip(seed in 0u64..u64::MAX, n in 1usize..4) {
+        let mut rng = Rng(seed);
+        let rules: Vec<RuleDecl> = (0..n).map(|i| gen_rule(&mut rng, i)).collect();
+        let printed = pretty_pack(&rules);
+        let (mut reparsed, errors) = parse_pack(&printed);
+        prop_assert!(errors.is_empty(), "errors {errors:?} in:\n{printed}");
+        for r in &mut reparsed {
+            r.line = 0;
+        }
+        prop_assert_eq!(&reparsed, &rules, "round-trip drift through:\n{}", printed);
+        // And the printed form is itself a fixed point.
+        let again = pretty_pack(&reparsed);
+        prop_assert_eq!(again, printed);
+    }
+}
