@@ -319,6 +319,7 @@ impl Assessment {
     /// absorbed into the caller's buffer when `jobs > 1`.
     pub fn run(&self) -> AssessmentReport {
         let counters_before = adsafe_trace::counter_snapshot();
+        let mem_before = adsafe_trace::alloc::phase_stats();
         let trace_mark = adsafe_trace::mark();
         let run_span = if self.options.run_id.is_empty() {
             adsafe_trace::span("assessment.run", "run")
@@ -886,10 +887,15 @@ impl Assessment {
         drop(run_span);
         let events = adsafe_trace::drain_from(trace_mark);
         let counters_after = adsafe_trace::counter_snapshot();
-        let trace = TraceSummary::from_events(
+        let mut trace = TraceSummary::from_events(
             events,
             adsafe_trace::counter_delta(&counters_before, &counters_after),
         );
+        // Per-phase allocation delta of this run (empty unless a
+        // `CountingAlloc` is installed with profiling on — the phase
+        // spans above drove the billing tags).
+        trace.phase_mem =
+            adsafe_trace::alloc::phase_delta(&mem_before, &adsafe_trace::alloc::phase_stats());
 
         let degraded = log.degrades_report();
         AssessmentReport {

@@ -117,6 +117,10 @@ impl Pool {
 
         let worker_events: Mutex<Vec<(usize, Vec<adsafe_trace::SpanEvent>)>> =
             Mutex::new(Vec::new());
+        // Workers inherit the caller's allocation-billing phase tag so
+        // parallel work stays attributed to the phase that fanned out
+        // (see `adsafe_trace::alloc`); worker thread-locals start at 0.
+        let parent_phase = adsafe_trace::alloc::current_phase();
         std::thread::scope(|scope| {
             for w in 0..n_workers {
                 let f = &f;
@@ -125,6 +129,7 @@ impl Pool {
                 let deques = &deques;
                 let worker_events = &worker_events;
                 scope.spawn(move || {
+                    adsafe_trace::alloc::set_current_phase(parent_phase);
                     let trace_mark = adsafe_trace::mark();
                     let mut steals = 0u64;
                     {
@@ -255,6 +260,21 @@ mod tests {
             done.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(done.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn workers_inherit_the_callers_allocation_phase_tag() {
+        let slot = adsafe_trace::alloc::phase_index("pool-test-phase");
+        assert_ne!(slot, 0, "registry has room in tests");
+        let prev = adsafe_trace::alloc::set_current_phase(slot);
+        let pool = Pool::new(4);
+        let out = pool.map((0..16).collect::<Vec<usize>>(), |_, _| {
+            adsafe_trace::alloc::current_phase()
+        });
+        adsafe_trace::alloc::set_current_phase(prev);
+        for r in out {
+            assert_eq!(r.unwrap(), slot, "every worker bills the parent phase");
+        }
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! ```text
 //! adsafe assess <dir> [--asil A|B|C|D] [--report out.md] [--diagnostics]
 //!                     [--jobs N] [--no-cache] [--cache-dir PATH] [--rules PATH]
-//!                     [--no-ledger] [--trace-out t.json] [--profile] [-v] [-q]
+//!                     [--no-ledger] [--trace-out t.json] [--profile]
+//!                     [--mem-profile] [-v] [-q]
 //! adsafe serve [--addr HOST:PORT] [--jobs N] [--handlers N] [--queue N]
 //!              [--cache-dir PATH] [--keep-alive-max N] [--idle-timeout MS]
 //!              [--request-timeout MS] [--min-byte-rate B/S]
@@ -62,6 +63,12 @@
 //! times, the top-10 slowest files and rules, and an in-terminal flame
 //! summary, `-v` additionally dumps the run's counter deltas, and `-q`
 //! suppresses everything except the verdict line and fault summary.
+//! `--mem-profile` (see DESIGN.md §14) turns on the instrumented
+//! allocator and prints a per-phase allocation table — allocation
+//! count, bytes allocated, peak live bytes during the phase, and bytes
+//! per assessed line — plus the process-wide size-class histogram.
+//! Profiling never changes report bytes: memory numbers ride the trace
+//! summary, never the deterministic report.
 //!
 //! Every assessment appends one record to the corpus's run ledger
 //! (`<cache-dir>/ledger/runs.jsonl`, see DESIGN.md §10) unless
@@ -91,6 +98,12 @@ use adsafe_serve::{ServeConfig, Server};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 
+/// The instrumented allocator (DESIGN.md §14). Counting is off until
+/// `--mem-profile` (or the serve daemon) flips it on; when off the
+/// only cost per allocation is one relaxed atomic load.
+#[global_allocator]
+static ALLOC: adsafe::trace::alloc::CountingAlloc = adsafe::trace::alloc::CountingAlloc;
+
 const EXIT_OK: i32 = adsafe_serve::exit::OK;
 const EXIT_BLOCKING: i32 = adsafe_serve::exit::BLOCKING;
 const EXIT_USAGE: i32 = adsafe_serve::exit::USAGE;
@@ -118,7 +131,7 @@ fn main() {
             eprintln!(
                 "usage:\n  adsafe assess <dir> [--asil A|B|C|D] [--report out.md] [--diagnostics]\n  \
                  {:17}[--jobs N] [--no-cache] [--cache-dir PATH] [--no-ledger]\n  \
-                 {:17}[--rules PATH] [--trace-out t.json] [--profile] [-v] [-q]\n  \
+                 {:17}[--rules PATH] [--trace-out t.json] [--profile] [--mem-profile] [-v] [-q]\n  \
                  adsafe serve [--addr HOST:PORT] [--jobs N] [--handlers N] [--queue N]\n  \
                  {:13}[--cache-dir PATH] [--keep-alive-max N] [--idle-timeout MS]\n  \
                  {:13}[--request-timeout MS] [--min-byte-rate B/S] [--store-budget BYTES[k|m]]\n  \
@@ -189,6 +202,7 @@ fn cmd_assess(args: &[String]) -> i32 {
     let mut trace_out: Option<String> = None;
     let mut show_diagnostics = false;
     let mut profile = false;
+    let mut mem_profile = false;
     let mut verbose = false;
     let mut quiet = false;
     let mut jobs = 0usize; // 0 = one worker per core
@@ -259,6 +273,7 @@ fn cmd_assess(args: &[String]) -> i32 {
             }
             "--diagnostics" => show_diagnostics = true,
             "--profile" => profile = true,
+            "--mem-profile" => mem_profile = true,
             "-v" | "--verbose" => verbose = true,
             "-q" | "--quiet" => quiet = true,
             other if !other.starts_with('-') && dir.is_none() => dir = Some(other),
@@ -367,6 +382,9 @@ fn cmd_assess(args: &[String]) -> i32 {
     for (module, path, bytes) in &sources {
         assessment.add_file_bytes(module, path, bytes);
     }
+    if mem_profile {
+        adsafe::trace::alloc::set_profiling(true);
+    }
     let report = assessment.run();
 
     let exit_code = exit_code_for(&report);
@@ -413,6 +431,9 @@ fn cmd_assess(args: &[String]) -> i32 {
     print_fault_summary(&report);
     if profile {
         print_profile(&report);
+    }
+    if mem_profile {
+        print_mem_profile(&report);
     }
     if verbose {
         println!("\ncounters:");
@@ -982,6 +1003,54 @@ fn print_profile(report: &adsafe::AssessmentReport) {
         }
     }
     println!("\n{}", t.flame());
+}
+
+/// Short human byte unit for the `--mem-profile` table.
+fn human_bytes(b: u64) -> String {
+    match b {
+        0..=1023 => format!("{b} B"),
+        1024..=1048575 => format!("{:.1} KiB", b as f64 / 1024.0),
+        1048576..=1073741823 => format!("{:.1} MiB", b as f64 / 1048576.0),
+        _ => format!("{:.2} GiB", b as f64 / 1073741824.0),
+    }
+}
+
+/// Prints the `--mem-profile` digest: process totals, the per-phase
+/// allocation table (allocs, bytes, peak live during the phase, bytes
+/// per assessed line), and the allocation size-class profile.
+fn print_mem_profile(report: &adsafe::AssessmentReport) {
+    let stats = adsafe::trace::alloc::stats();
+    println!(
+        "\nmemory profile: {} alloc(s), {} allocated, {} live, peak {}",
+        stats.alloc_count,
+        human_bytes(stats.allocated_bytes),
+        human_bytes(stats.live_bytes),
+        human_bytes(stats.peak_live_bytes),
+    );
+    let loc = report.evidence.total_loc.max(1) as f64;
+    println!(
+        "  {:<14} {:>10} {:>12} {:>12} {:>11}",
+        "phase", "allocs", "bytes", "peak live", "bytes/LOC"
+    );
+    for p in &report.trace.phase_mem {
+        println!(
+            "  {:<14} {:>10} {:>12} {:>12} {:>11.1}",
+            p.name,
+            p.allocs,
+            human_bytes(p.bytes),
+            human_bytes(p.peak_live),
+            p.bytes as f64 / loc,
+        );
+    }
+    let sc = &stats.size_classes;
+    if sc.count > 0 {
+        println!(
+            "allocation sizes: mean {}, p50 <= {}, p99 <= {}",
+            human_bytes(sc.mean() as u64),
+            human_bytes(sc.quantile_bound(0.50)),
+            human_bytes(sc.quantile_bound(0.99)),
+        );
+    }
 }
 
 /// `adsafe trace-compare <baseline.json> <current.json>`: the CI perf

@@ -213,6 +213,12 @@ impl Server {
     /// Binds `config.addr` and starts serving. Fails only on bind
     /// errors (address in use, bad address).
     pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        // A resident daemon always profiles memory: the gauges on
+        // /metrics and /healthz and the per-request allocation deltas
+        // in the flight recorder are part of its observability surface.
+        // (No-op counting unless the binary installs a `CountingAlloc`,
+        // as the `adsafe` CLI does.)
+        adsafe_trace::alloc::set_profiling(true);
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -407,6 +413,10 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
         // client think-time between keep-alive requests is not billed
         // to the request record or the latency series.
         let req_start_us = adsafe_trace::now_us();
+        // Process-wide allocation watermark: the delta at record time
+        // is the request's allocated-bytes bill (best-effort under
+        // concurrent handlers; 0 when no CountingAlloc is installed).
+        let alloc_before = adsafe_trace::alloc::total_allocated();
         // Drop any phases a previous (panicked) handler left behind on
         // this worker, then bill the executor queue wait to the
         // connection's first request.
@@ -484,6 +494,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
             reuse: (served - 1) as u64,
             start_us,
             total_us: end_us.saturating_sub(start_us),
+            alloc_bytes: adsafe_trace::alloc::total_allocated().saturating_sub(alloc_before),
             phases,
         });
         // Handler threads are long-lived: drop this request's span
@@ -530,6 +541,9 @@ fn route(req: &Request, shared: &Arc<Shared>) -> Response {
 /// `GET /metrics[?format=prometheus]`: the stable adsafe text dump by
 /// default; the Prometheus exposition format on request.
 fn metrics(req: &Request) -> Response {
+    // Refresh the allocator gauges (mem.live_bytes, mem.peak_bytes,
+    // mem.phase{phase=…}) so both exposition formats see current data.
+    adsafe_trace::alloc::publish_metrics();
     match query_param(&req.path, "format") {
         Some("prometheus") => Response {
             status: 200,
@@ -957,6 +971,8 @@ fn healthz(shared: &Arc<Shared>) -> Response {
     out.push_str(&format!(",\"recorder_len\":{}", shared.recorder.len()));
     out.push_str(&format!(",\"recorder_cap\":{}", shared.recorder.capacity()));
     out.push_str(&format!(",\"recorder_evicted\":{}", shared.recorder.evicted()));
+    out.push_str(&format!(",\"mem_live\":{}", adsafe_trace::alloc::live_bytes()));
+    out.push_str(&format!(",\"mem_peak\":{}", adsafe_trace::alloc::peak_live_bytes()));
     out.push_str(&format!(
         ",\"last_degraded\":{}",
         shared.last_degraded.load(Ordering::SeqCst)

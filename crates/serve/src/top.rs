@@ -101,6 +101,16 @@ pub fn split_labels(key: &str) -> (&str, Vec<(String, String)>) {
     (base, labels)
 }
 
+/// Formats a byte count with a short unit for the memory panel.
+fn fmt_bytes(b: u64) -> String {
+    match b {
+        0..=1023 => format!("{b}B"),
+        1024..=1048575 => format!("{:.1}KiB", b as f64 / 1024.0),
+        1048576..=1073741823 => format!("{:.1}MiB", b as f64 / 1048576.0),
+        _ => format!("{:.2}GiB", b as f64 / 1073741824.0),
+    }
+}
+
 /// Formats µs as a human latency (`850µs`, `12.4ms`, `3.21s`).
 fn fmt_us(us: u64) -> String {
     if us >= 1_000_000 {
@@ -154,6 +164,31 @@ pub fn render_dashboard(
         health_num("store_budget"),
         counter("store.evictions"),
     );
+
+    // Memory panel: the allocator gauges the daemon publishes on
+    // /metrics (all zero until a binary with a CountingAlloc serves
+    // an assessment — then live/peak plus the per-phase breakdown).
+    let mem_live = cur.gauges.get("mem.live_bytes").copied().unwrap_or(0);
+    let mem_peak = cur.gauges.get("mem.peak_bytes").copied().unwrap_or(0);
+    if mem_live > 0 || mem_peak > 0 {
+        let _ = writeln!(out, "mem live {}   peak {}", fmt_bytes(mem_live), fmt_bytes(mem_peak));
+        let phases: Vec<String> = cur
+            .gauges
+            .iter()
+            .filter(|(k, _)| k.starts_with("mem.phase{"))
+            .map(|(k, v)| {
+                let (_, labels) = split_labels(k);
+                let phase = labels
+                    .iter()
+                    .find(|(n, _)| n == "phase")
+                    .map_or("?".to_string(), |(_, p)| p.clone());
+                format!("{phase}={}", fmt_bytes(*v))
+            })
+            .collect();
+        if !phases.is_empty() {
+            let _ = writeln!(out, "mem by phase: {}", phases.join("  "));
+        }
+    }
 
     // Status code mix and chaos-visible fault counters, enumerated by
     // label/prefix because both families are created dynamically.
@@ -305,6 +340,10 @@ counter serve.status{code=\"200\"} 38
 counter serve.status{code=\"503\"} 2
 counter store.evictions 1
 gauge pool.queue_depth 3
+gauge mem.live_bytes 10485760
+gauge mem.peak_bytes 47185920
+gauge mem.phase{phase=\"parse\"} 31457280
+gauge mem.phase{phase=\"checks\"} 2097152
 hist pool.queue_wait count 40 sum 80000 p50 1500 p99 4000 p999 4100
 hist serve.latency{endpoint=\"assess\",status=\"200\"} count 38 sum 266000 p50 6500 p99 12000 p999 12800
 hist serve.request_us count 40 sum 280000 p50 6600 p99 12500 p999 13000
@@ -352,6 +391,9 @@ hist serve.request_us count 40 sum 280000 p50 6600 p99 12500 p999 13000
         assert!(dash.contains("requests 40  (5.0/s)"), "{dash}");
         assert!(dash.contains("queue 3/32"), "{dash}");
         assert!(dash.contains("recorder 40/256"), "{dash}");
+        assert!(dash.contains("mem live 10.0MiB   peak 45.0MiB"), "{dash}");
+        // Gauge keys sort alphabetically, so checks precedes parse.
+        assert!(dash.contains("mem by phase: checks=2.0MiB  parse=30.0MiB"), "{dash}");
         assert!(dash.contains("status codes: 200=38  503=2"), "{dash}");
         assert!(dash.contains("assess"), "{dash}");
         assert!(dash.contains("6.5ms"), "{dash}");
@@ -367,5 +409,6 @@ hist serve.request_us count 40 sum 280000 p50 6600 p99 12500 p999 13000
         let dash = render_dashboard("x", &empty, None, &health);
         assert!(dash.contains("requests 0"), "{dash}");
         assert!(!dash.contains("endpoint"), "no SLO table without latency series");
+        assert!(!dash.contains("mem live"), "no memory panel without allocator gauges");
     }
 }

@@ -6,6 +6,7 @@
 //! and prints an indented tree with milliseconds, share of total, and
 //! a proportional bar.
 
+use crate::alloc::PhaseMem;
 use crate::span::SpanEvent;
 use std::collections::HashMap;
 
@@ -64,6 +65,18 @@ fn aggregate(events: &[SpanEvent]) -> Vec<Node> {
 /// Renders the flame summary. `max_children` bounds the lines printed
 /// per nesting level (the rest are folded into an `… (+N more)` line).
 pub fn flame_summary(events: &[SpanEvent], max_children: usize) -> String {
+    flame_summary_with_mem(events, max_children, &[])
+}
+
+/// [`flame_summary`] plus a memory column: a `phase.*` frame whose
+/// stripped name appears in `mem` (the run's per-phase allocation
+/// delta, see `crate::alloc`) gains a `Σ<bytes> alloc` annotation.
+/// With `mem` empty the output is byte-identical to [`flame_summary`].
+pub fn flame_summary_with_mem(
+    events: &[SpanEvent],
+    max_children: usize,
+    mem: &[PhaseMem],
+) -> String {
     let nodes = aggregate(events);
     let total_us: u64 = nodes.iter().filter(|n| n.path.len() == 1).map(|n| n.total_us).sum();
     let mut out = String::new();
@@ -75,8 +88,18 @@ pub fn flame_summary(events: &[SpanEvent], max_children: usize) -> String {
     if nodes.is_empty() {
         return out;
     }
-    render_level(&nodes, &[], total_us.max(1), max_children, &mut out);
+    render_level(&nodes, &[], total_us.max(1), max_children, mem, &mut out);
     out
+}
+
+/// Rounds a byte count to a short human unit for the flame column.
+pub(crate) fn fmt_bytes(b: u64) -> String {
+    match b {
+        0..=1023 => format!("{b} B"),
+        1024..=1048575 => format!("{:.1} KiB", b as f64 / 1024.0),
+        1048576..=1073741823 => format!("{:.1} MiB", b as f64 / 1048576.0),
+        _ => format!("{:.2} GiB", b as f64 / 1073741824.0),
+    }
 }
 
 fn render_level(
@@ -84,6 +107,7 @@ fn render_level(
     prefix: &[String],
     total_us: u64,
     max_children: usize,
+    mem: &[PhaseMem],
     out: &mut String,
 ) {
     let mut children: Vec<&Node> = nodes
@@ -105,15 +129,20 @@ fn render_level(
         } else {
             name.clone()
         };
+        let mem_col = name
+            .strip_prefix("phase.")
+            .and_then(|p| mem.iter().find(|m| m.name == p))
+            .map(|m| format!("  Σ{} alloc", fmt_bytes(m.bytes)))
+            .unwrap_or_default();
         out.push_str(&format!(
-            "  {:indent$}{label:<width$} {:>9.2} ms {pct:>5.1}% {bar}\n",
+            "  {:indent$}{label:<width$} {:>9.2} ms {pct:>5.1}% {bar}{mem_col}\n",
             "",
             node.total_us as f64 / 1000.0,
             indent = 2 * prefix.len(),
             width = 44usize.saturating_sub(2 * prefix.len()),
             bar = "#".repeat(bar_len),
         ));
-        render_level(nodes, &node.path, total_us, max_children, out);
+        render_level(nodes, &node.path, total_us, max_children, mem, out);
     }
     if folded > 0 {
         out.push_str(&format!(
@@ -173,5 +202,39 @@ mod tests {
     fn empty_events_render() {
         let s = flame_summary(&[], 10);
         assert!(s.contains("0 span(s)"), "{s}");
+    }
+
+    #[test]
+    fn memory_column_annotates_matching_phases_only() {
+        let events = vec![
+            ev("run", 0, 1000, 0),
+            ev("phase.parse", 0, 600, 1),
+            ev("parse.file", 10, 200, 2),
+            ev("phase.checks", 600, 400, 1),
+        ];
+        let mem = vec![PhaseMem {
+            name: "parse".to_string(),
+            allocs: 12,
+            bytes: 3 * 1024 * 1024,
+            peak_live: 4 * 1024 * 1024,
+        }];
+        let s = flame_summary_with_mem(&events, 10, &mem);
+        let parse_line = s.lines().find(|l| l.contains("phase.parse")).unwrap();
+        assert!(parse_line.contains("Σ3.0 MiB alloc"), "{s}");
+        let checks_line = s.lines().find(|l| l.contains("phase.checks")).unwrap();
+        assert!(!checks_line.contains("alloc"), "unprofiled phases stay clean: {s}");
+        let file_line = s.lines().find(|l| l.contains("parse.file")).unwrap();
+        assert!(!file_line.contains("alloc"), "non-phase frames stay clean: {s}");
+        // No memory data → byte-identical to the plain renderer.
+        assert_eq!(flame_summary_with_mem(&events, 10, &[]), flame_summary(&events, 10));
+    }
+
+    #[test]
+    fn byte_formatting_rounds_to_short_units() {
+        assert_eq!(fmt_bytes(0), "0 B");
+        assert_eq!(fmt_bytes(1023), "1023 B");
+        assert_eq!(fmt_bytes(1536), "1.5 KiB");
+        assert_eq!(fmt_bytes(5 * 1024 * 1024), "5.0 MiB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024 * 1024), "3.00 GiB");
     }
 }

@@ -20,6 +20,12 @@
 //!   files and rules, and counter deltas distilled from one run's
 //!   events; [`bench`] serialises phase timings as the
 //!   `BENCH_pipeline.json` perf baseline CI regresses against.
+//! * **Allocation profiling** ([`alloc`]) — an opt-in
+//!   `#[global_allocator]` wrapper ([`CountingAlloc`]) billing every
+//!   heap allocation to the phase span active on the allocating
+//!   thread: totals, live/peak gauges, a size-class histogram, and
+//!   per-phase tables for `--mem-profile`, `/metrics`, and the
+//!   frontend benchmark (see DESIGN.md §14).
 //!
 //! ```
 //! let m = adsafe_trace::mark();
@@ -36,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod bench;
 pub mod chrome;
 pub mod flame;
@@ -45,6 +52,7 @@ pub mod recorder;
 pub mod span;
 pub mod summary;
 
+pub use alloc::{CountingAlloc, MemStats, PhaseMem};
 pub use metrics::{
     counter, counter_delta, counter_snapshot, counters_with_prefix, gauge, gauge_snapshot,
     histogram, histogram_snapshot, labeled, render_prometheus, render_text, Counter, Gauge,

@@ -86,15 +86,23 @@ pub struct Histogram {
 
 impl Default for Histogram {
     fn default() -> Self {
-        Histogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            sum: AtomicU64::new(0),
-        }
+        Histogram::new()
     }
 }
 
 impl Histogram {
+    /// An empty histogram. `const` so a histogram can live in a
+    /// `static` without lazy initialisation — the allocation profiler
+    /// (`alloc.rs`) records into one from inside the global allocator,
+    /// where a lazily-initialised cell could recurse.
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
     /// Records one value.
     pub fn record(&self, v: u64) {
         let b = (u64::BITS - v.leading_zeros()) as usize; // bit length; 0 for v == 0
@@ -141,7 +149,11 @@ impl HistogramSnapshot {
     }
 
     /// Upper bound of the bucket holding the `q`-quantile (`q` in 0..=1).
-    /// Log-scale resolution: the answer is exact to within 2×.
+    /// Log-scale resolution: the answer is exact to within 2×. The
+    /// last bucket also absorbs values of bit length > 63, so its
+    /// honest bound is `u64::MAX` — which keeps the documented
+    /// `quantile_estimate ≤ quantile_bound` invariant when every
+    /// sample saturates into it.
     pub fn quantile_bound(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -151,7 +163,13 @@ impl HistogramSnapshot {
         for (b, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= target {
-                return if b == 0 { 0 } else { (1u64 << b).saturating_sub(1) };
+                return if b == 0 {
+                    0
+                } else if b >= BUCKETS - 1 {
+                    u64::MAX
+                } else {
+                    (1u64 << b) - 1
+                };
             }
         }
         u64::MAX
@@ -623,6 +641,112 @@ mod tests {
         top.record(u64::MAX);
         let est = top.snapshot().quantile_estimate(1.0);
         assert!(est >= 1u64 << 62, "top bucket reaches the u64 range: {est}");
+    }
+
+    #[test]
+    fn quantile_estimate_single_sample_stays_in_its_bucket() {
+        let h = Histogram::default();
+        h.record(100); // bucket 7: [64, 127]
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let est = s.quantile_estimate(q);
+            assert!((64..=127).contains(&est), "q = {q}: {est}");
+            assert!(est <= s.quantile_bound(q), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn quantile_estimate_saturated_top_bucket_never_overflows() {
+        // Every sample in the open-ended top bucket: interpolation must
+        // saturate at u64::MAX rather than wrap (the bucket's f64 width
+        // rounds up to 2⁶³).
+        let h = Histogram::default();
+        for _ in 0..50 {
+            h.record(u64::MAX);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile_estimate(0.5);
+        let p999 = s.quantile_estimate(0.999);
+        assert!(p50 >= 1u64 << 62, "p50 inside the top bucket: {p50}");
+        assert!(p50 <= p999, "quantiles stay ordered: {p50} vs {p999}");
+        assert_eq!(s.quantile_estimate(1.0), u64::MAX);
+        assert_eq!(s.quantile_bound(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn quantile_estimate_empty_is_zero_for_all_q() {
+        let empty = Histogram::default().snapshot();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(empty.quantile_estimate(q), 0);
+            assert_eq!(empty.quantile_bound(q), 0);
+        }
+    }
+
+    /// Inverse of [`labeled`]'s value escaping, for the round-trip
+    /// property below: parses an `k="v",k2="v2"` block back into pairs.
+    fn parse_label_block(block: &str) -> Option<Vec<(String, String)>> {
+        let mut out = Vec::new();
+        let mut chars = block.chars();
+        loop {
+            let mut key = String::new();
+            loop {
+                match chars.next()? {
+                    '=' => break,
+                    c => key.push(c),
+                }
+            }
+            if chars.next()? != '"' {
+                return None;
+            }
+            let mut val = String::new();
+            loop {
+                match chars.next()? {
+                    '\\' => match chars.next()? {
+                        '\\' => val.push('\\'),
+                        '"' => val.push('"'),
+                        'n' => val.push('\n'),
+                        _ => return None, // bare escape: not a valid encoding
+                    },
+                    '"' => break,
+                    c => val.push(c),
+                }
+            }
+            out.push((key, val));
+            match chars.next() {
+                Some(',') => continue,
+                None => return Some(out),
+                _ => return None,
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(96))]
+
+        /// Registry keys must decode back to exactly the label values
+        /// they were built from — quotes, backslashes, newlines, and
+        /// `{`/`}`/`=`/`,` inside values included — and must not
+        /// depend on the caller's label order. A failure here means
+        /// the Prometheus exposition emits a corrupt label block.
+        #[test]
+        fn labeled_round_trips_hostile_values(
+            a in "[ -~\n]{0,24}",
+            b in r#"["\\x,}]{0,12}"#,
+        ) {
+            let key = labeled("m", &[("ka", a.as_str()), ("kb", b.as_str())]);
+            proptest::prop_assert_eq!(
+                labeled("m", &[("kb", b.as_str()), ("ka", a.as_str())]),
+                key.clone(),
+                "label order must not matter"
+            );
+            let (base, block) = split_key(&key);
+            proptest::prop_assert_eq!(base, "m");
+            let parsed = parse_label_block(block.expect("labeled always writes a block"));
+            proptest::prop_assert_eq!(
+                parsed,
+                Some(vec![("ka".to_string(), a), ("kb".to_string(), b)])
+            );
+        }
     }
 
     #[test]

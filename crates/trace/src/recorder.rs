@@ -63,6 +63,11 @@ pub struct RequestRecord {
     pub start_us: u64,
     /// Total request wall time in µs (read → response written).
     pub total_us: u64,
+    /// Heap bytes allocated process-wide while the request ran (delta
+    /// of the instrumented allocator's total; 0 when memory profiling
+    /// is off). Best-effort under concurrency, like counter deltas:
+    /// overlapping requests see each other's allocations.
+    pub alloc_bytes: u64,
     /// Phase breakdown, ordered by start time.
     pub phases: Vec<PhaseTiming>,
 }
@@ -80,8 +85,9 @@ impl RequestRecord {
         write_escaped(&mut out, &self.endpoint);
         let _ = write!(
             out,
-            ",\"status\":{},\"conn\":{},\"reuse\":{},\"start_us\":{},\"total_us\":{},\"phases\":[",
-            self.status, self.conn_id, self.reuse, self.start_us, self.total_us
+            ",\"status\":{},\"conn\":{},\"reuse\":{},\"start_us\":{},\"total_us\":{},\
+             \"alloc_bytes\":{},\"phases\":[",
+            self.status, self.conn_id, self.reuse, self.start_us, self.total_us, self.alloc_bytes
         );
         for (i, p) in self.phases.iter().enumerate() {
             if i > 0 {
@@ -225,6 +231,7 @@ mod tests {
             reuse: 2,
             start_us: 1000,
             total_us: 250,
+            alloc_bytes: 65536,
             phases: vec![
                 PhaseTiming { name: "queue_wait".into(), start_us: 1000, dur_us: 40 },
                 PhaseTiming { name: "write".into(), start_us: 1200, dur_us: 50 },
@@ -271,6 +278,7 @@ mod tests {
         assert_eq!(doc.get("status").and_then(Json::as_f64), Some(200.0));
         assert_eq!(doc.get("conn").and_then(Json::as_f64), Some(7.0));
         assert_eq!(doc.get("reuse").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(doc.get("alloc_bytes").and_then(Json::as_f64), Some(65536.0));
         let phases = doc.get("phases").and_then(Json::as_arr).expect("phases array");
         assert_eq!(phases.len(), 2);
         assert_eq!(phases[0].get("name").and_then(Json::as_str), Some("queue_wait"));

@@ -73,6 +73,11 @@ struct OpenSpan {
     cat: &'static str,
     start_us: u64,
     args: Vec<(&'static str, String)>,
+    /// Allocation-billing tag this span displaced (`cat == "phase"`
+    /// spans only): restored when the span closes, so nested phases
+    /// bill to the innermost one and panics/leaked guards repair the
+    /// tag along with the stack.
+    prev_phase: Option<usize>,
 }
 
 struct ThreadTrace {
@@ -118,9 +123,18 @@ pub fn span_with(
         return SpanGuard { token: 0 };
     }
     let start_us = now_us();
+    let name = name.into();
+    // Phase spans double as allocation-billing scopes: the profiler's
+    // thread-local tag points at this phase until the span closes.
+    // Registration is idempotent and cheap relative to opening a
+    // phase (a handful per run).
+    let prev_phase = (cat == "phase").then(|| {
+        let stripped = name.strip_prefix("phase.").unwrap_or(&name);
+        crate::alloc::set_current_phase(crate::alloc::phase_index(stripped))
+    });
     let token = TRACE.with(|t| {
         let mut t = t.borrow_mut();
-        t.stack.push(OpenSpan { name: name.into(), cat, start_us, args });
+        t.stack.push(OpenSpan { name, cat, start_us, args, prev_phase });
         t.stack.len()
     });
     SpanGuard { token }
@@ -138,6 +152,11 @@ impl Drop for SpanGuard {
             // this loop the stack is exactly as it was before we opened.
             while t.stack.len() >= self.token {
                 let open = t.stack.pop().expect("stack length checked");
+                if let Some(prev) = open.prev_phase {
+                    // Unwinds in LIFO order even when inner guards
+                    // leaked: each pop restores the tag its push saved.
+                    crate::alloc::set_current_phase(prev);
+                }
                 let depth = t.stack.len();
                 if t.events.len() < EVENT_CAP {
                     t.events.push(SpanEvent {
@@ -304,6 +323,48 @@ mod tests {
         assert_eq!(ev[1].name, "worker");
         assert_eq!(ev[1].tid, worker_tid);
         assert_ne!(ev[0].tid, ev[1].tid);
+    }
+
+    #[test]
+    fn phase_spans_drive_the_allocation_billing_tag() {
+        let _l = ENABLED_LOCK.lock().unwrap();
+        let m = mark();
+        let outside = crate::alloc::current_phase();
+        let parse_idx;
+        let native_idx;
+        {
+            let _p = span("phase.test_span_parse", "phase");
+            parse_idx = crate::alloc::current_phase();
+            assert_eq!(parse_idx, crate::alloc::phase_index("test_span_parse"));
+            assert_ne!(parse_idx, outside);
+            {
+                // Nested phases bill to the innermost.
+                let _q = span("phase.test_span_parse.inner", "phase");
+                native_idx = crate::alloc::current_phase();
+                assert_ne!(native_idx, parse_idx);
+                // Non-phase spans leave the tag alone.
+                let _r = span("file.x", "parse");
+                assert_eq!(crate::alloc::current_phase(), native_idx);
+            }
+            assert_eq!(crate::alloc::current_phase(), parse_idx, "inner close restores");
+        }
+        assert_eq!(crate::alloc::current_phase(), outside, "outer close restores");
+        drain_from(m);
+    }
+
+    #[test]
+    fn panic_unwinding_restores_the_billing_tag() {
+        let _l = ENABLED_LOCK.lock().unwrap();
+        let m = mark();
+        let outside = crate::alloc::current_phase();
+        let r = std::panic::catch_unwind(|| {
+            let _p = span("phase.test_span_panic", "phase");
+            let _inner = span("phase.test_span_panic.inner", "phase");
+            panic!("checker bug");
+        });
+        assert!(r.is_err());
+        assert_eq!(crate::alloc::current_phase(), outside, "unwinding left a stale tag");
+        drain_from(m);
     }
 
     #[test]

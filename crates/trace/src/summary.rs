@@ -33,6 +33,11 @@ pub struct TraceSummary {
     /// Counter increments attributable to this run (best-effort in a
     /// multi-threaded process), sorted by name.
     pub counters: Vec<(String, u64)>,
+    /// Per-phase allocation totals for this run (empty unless a
+    /// [`crate::alloc::CountingAlloc`] is installed and profiling was
+    /// on — the pipeline attaches the delta of
+    /// [`crate::alloc::phase_stats`] across the run).
+    pub phase_mem: Vec<crate::alloc::PhaseMem>,
     /// The run's raw span events.
     pub events: Vec<SpanEvent>,
 }
@@ -83,8 +88,15 @@ impl TraceSummary {
             slowest_files: top(files),
             slowest_rules: top(rules),
             counters,
+            phase_mem: Vec::new(),
             events,
         }
+    }
+
+    /// Allocation totals of `phase` (bytes billed during this run), if
+    /// memory profiling captured it.
+    pub fn phase_mem_bytes(&self, phase: &str) -> Option<u64> {
+        self.phase_mem.iter().find(|p| p.name == phase).map(|p| p.bytes)
     }
 
     /// Wall time of `phase` in milliseconds, if that phase ran.
@@ -97,9 +109,10 @@ impl TraceSummary {
         crate::chrome::to_chrome_json(&self.events)
     }
 
-    /// The run's events as an in-terminal flame summary.
+    /// The run's events as an in-terminal flame summary; phase frames
+    /// carry a memory column when the run captured allocation totals.
     pub fn flame(&self) -> String {
-        crate::flame::flame_summary(&self.events, 12)
+        crate::flame::flame_summary_with_mem(&self.events, 12, &self.phase_mem)
     }
 }
 

@@ -8,6 +8,7 @@
 //! counter-sensitive tests serialise on [`counter_lock`].
 
 use adsafe::render::deterministic_report_markdown;
+use adsafe::trace::alloc;
 use adsafe::{
     Assessment, AssessmentOptions, AssessmentReport, FaultCause, FaultSeverity,
 };
@@ -15,6 +16,11 @@ use proptest::prelude::*;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Instrumented allocator for the memory-determinism test below; it
+/// counts nothing until that test flips profiling on.
+#[global_allocator]
+static ALLOC: alloc::CountingAlloc = alloc::CountingAlloc;
 
 /// Serialises tests that assert on global counter deltas: a concurrent
 /// assessment in another test thread would pollute the delta window.
@@ -308,6 +314,47 @@ fn shared_store_makes_repeat_runs_warm() {
         deterministic_report_markdown(&warm),
         deterministic_report_markdown(&cold)
     );
+}
+
+#[test]
+fn memory_profiling_never_changes_report_bytes() {
+    let spec = adsafe::corpus::ApolloSpec::test_scale();
+    let corpus = adsafe::corpus::generate(&spec);
+    let run = |jobs: usize| {
+        adsafe::assess_corpus(
+            &corpus,
+            AssessmentOptions { jobs, ..AssessmentOptions::default() },
+        )
+    };
+    alloc::set_profiling(false);
+    let baseline = deterministic_report_markdown(&run(1));
+    // The determinism contract (DESIGN.md §14): allocation profiling is
+    // a pure observer. Toggling it — serial or parallel — must leave
+    // the deterministic report byte-identical, while profiling runs
+    // still attribute allocations to pipeline phases.
+    for (profiling, jobs) in [(false, 4), (true, 1), (true, 4)] {
+        let prev = alloc::set_profiling(profiling);
+        let r = run(jobs);
+        alloc::set_profiling(prev);
+        if profiling {
+            assert!(
+                r.trace.phase_mem.iter().any(|p| p.name == "parse" && p.bytes > 0),
+                "profiling on must bill parse-phase allocations, got {:?}",
+                r.trace.phase_mem
+            );
+        } else {
+            assert!(
+                r.trace.phase_mem.is_empty(),
+                "profiling off must record nothing, got {:?}",
+                r.trace.phase_mem
+            );
+        }
+        assert_eq!(
+            deterministic_report_markdown(&r),
+            baseline,
+            "report bytes differ at profiling={profiling} jobs={jobs}"
+        );
+    }
 }
 
 #[test]
